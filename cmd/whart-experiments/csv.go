@@ -1,0 +1,236 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"wirelesshart/internal/experiments"
+)
+
+// writeCSVs regenerates every plottable figure's data series as CSV files
+// in dir (created if needed), ready for gnuplot/matplotlib — the raw
+// series behind the paper's figures.
+func writeCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name string
+		fn   func() ([][]string, error)
+	}{
+		{name: "fig6_goal_trajectories.csv", fn: csvFig6},
+		{name: "fig7_delay_distribution.csv", fn: csvFig7},
+		{name: "fig8_reachability_vs_availability.csv", fn: csvFig8},
+		{name: "fig9_delay_vs_availability.csv", fn: csvFig9},
+		{name: "fig10_reachability_vs_hops.csv", fn: csvFig10},
+		{name: "fig13_network_reachability.csv", fn: csvFig13},
+		{name: "fig14_overall_delay.csv", fn: csvFig14},
+		{name: "fig15_expected_delays.csv", fn: csvFig15},
+		{name: "fig16_schedule_comparison.csv", fn: csvFig16},
+		{name: "fig17_link_recovery.csv", fn: csvFig17},
+		{name: "fig18_reporting_interval.csv", fn: csvFig18},
+		{name: "fig19_fast_control.csv", fn: csvFig19},
+	}
+	for _, wr := range writers {
+		rows, err := wr.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", wr.name, err)
+		}
+		if err := writeCSVFile(filepath.Join(dir, wr.name), rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(x float64) string { return strconv.FormatFloat(x, 'g', 10, 64) }
+func itoa(x int) string     { return strconv.Itoa(x) }
+
+func csvFig6() ([][]string, error) {
+	d, err := experiments.ComputeFig6()
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"age_slots"}
+	for _, a := range d.GoalAges {
+		header = append(header, fmt.Sprintf("R%d", a))
+	}
+	rows := [][]string{header}
+	for t := 0; t < len(d.Curves[0]); t++ {
+		row := []string{itoa(t)}
+		for gi := range d.Curves {
+			row = append(row, ftoa(d.Curves[gi][t]))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func csvFig7() ([][]string, error) {
+	d, err := experiments.ComputeFig7()
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"delay_ms", "probability"}}
+	for i := range d.DelayMS {
+		rows = append(rows, []string{ftoa(d.DelayMS[i]), ftoa(d.Prob[i])})
+	}
+	return rows, nil
+}
+
+func csvFig8() ([][]string, error) {
+	sweep, err := experiments.ComputeFig8()
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"availability", "ber", "reachability", "expected_delay_ms"}}
+	for _, r := range sweep {
+		rows = append(rows, []string{ftoa(r.Avail), ftoa(r.BER), ftoa(r.Reachability), ftoa(r.ExpectedMS)})
+	}
+	return rows, nil
+}
+
+func csvFig9() ([][]string, error) {
+	ds, err := experiments.ComputeFig9()
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"availability", "delay_ms", "probability"}}
+	for _, d := range ds {
+		for i := range d.DelayMS {
+			rows = append(rows, []string{ftoa(d.Avail), ftoa(d.DelayMS[i]), ftoa(d.Prob[i])})
+		}
+	}
+	return rows, nil
+}
+
+func csvFig10() ([][]string, error) {
+	hops, err := experiments.ComputeFig10()
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"hops", "reachability"}}
+	for _, r := range hops {
+		rows = append(rows, []string{itoa(r.Hops), ftoa(r.Reachability)})
+	}
+	return rows, nil
+}
+
+func csvFig13() ([][]string, error) {
+	data, err := experiments.ComputeFig13(experiments.Fig13Avails)
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"path", "hops"}
+	for _, a := range experiments.Fig13Avails {
+		header = append(header, fmt.Sprintf("R_at_%g", a))
+	}
+	rows := [][]string{header}
+	for _, r := range data {
+		row := []string{itoa(r.PathNumber), itoa(r.Hops)}
+		for _, v := range r.ReachByAvail {
+			row = append(row, ftoa(v))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func csvFig14() ([][]string, error) {
+	d, err := experiments.ComputeFig14()
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"delay_ms", "probability"}}
+	for i := range d.DelayMS {
+		rows = append(rows, []string{ftoa(d.DelayMS[i]), ftoa(d.Prob[i])})
+	}
+	return rows, nil
+}
+
+func csvFig15() ([][]string, error) {
+	data, _, err := experiments.ComputeFig15(false)
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"path", "hops", "expected_delay_ms"}}
+	for _, r := range data {
+		rows = append(rows, []string{itoa(r.PathNumber), itoa(r.Hops), ftoa(r.ExpectedMS)})
+	}
+	return rows, nil
+}
+
+func csvFig16() ([][]string, error) {
+	a, _, err := experiments.ComputeFig15(false)
+	if err != nil {
+		return nil, err
+	}
+	b, _, err := experiments.ComputeFig15(true)
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"path", "eta_a_ms", "eta_b_ms"}}
+	for i := range a {
+		rows = append(rows, []string{itoa(a[i].PathNumber), ftoa(a[i].ExpectedMS), ftoa(b[i].ExpectedMS)})
+	}
+	return rows, nil
+}
+
+func csvFig17() ([][]string, error) {
+	ds, err := experiments.ComputeFig17()
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"pfl", "slot", "up_probability", "steady"}}
+	for _, d := range ds {
+		for t, p := range d.UpProb {
+			rows = append(rows, []string{ftoa(d.PFl), itoa(t), ftoa(p), ftoa(d.Steady)})
+		}
+	}
+	return rows, nil
+}
+
+func csvFig18() ([][]string, error) {
+	data, err := experiments.ComputeFig18()
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"reporting_interval", "reachability"}}
+	for _, r := range data {
+		rows = append(rows, []string{itoa(r.Is), ftoa(r.Reachability)})
+	}
+	return rows, nil
+}
+
+func csvFig19() ([][]string, error) {
+	data, err := experiments.ComputeFig19(experiments.Fig13Avails)
+	if err != nil {
+		return nil, err
+	}
+	rows := [][]string{{"availability", "path", "hops", "reach_is2", "reach_is4"}}
+	for _, r := range data {
+		rows = append(rows, []string{ftoa(r.Avail), itoa(r.PathNumber), itoa(r.Hops), ftoa(r.ReachFast), ftoa(r.ReachRegular)})
+	}
+	return rows, nil
+}

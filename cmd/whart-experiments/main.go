@@ -1,0 +1,82 @@
+// Command whart-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	whart-experiments -list          list every experiment
+//	whart-experiments -run fig6      run one experiment
+//	whart-experiments -run tab2,tab3 run several
+//	whart-experiments -all           run everything in paper order
+//	whart-experiments -csv out/      write every figure's data series as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wirelesshart/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "whart-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("whart-experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list available experiments")
+	runIDs := fs.String("run", "", "comma-separated experiment ids to run")
+	all := fs.Bool("all", false, "run every experiment")
+	csvDir := fs.String("csv", "", "write every plottable figure's data series as CSV files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *csvDir != "":
+		if err := writeCSVs(*csvDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "figure data written to %s\n", *csvDir)
+		return nil
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Fprintf(w, "%-6s %s\n", e.ID, e.Title)
+		}
+		return nil
+	case *all:
+		for _, e := range experiments.All() {
+			if err := runOne(w, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *runIDs != "":
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			if err := runOne(w, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("nothing to do: use -list, -run <ids> or -all")
+	}
+}
+
+func runOne(w io.Writer, e experiments.Experiment) error {
+	fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

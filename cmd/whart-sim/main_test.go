@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTypicalSim(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-typical", "-intervals", "500", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"simulated 500 reporting intervals", "R analytic", "network utilization", "reachability gap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRoundTripMode(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-typical", "-intervals", "300", "-roundtrip"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"control loops", "loop analytic", "loop simulated", "n10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("roundtrip output missing %q", want)
+		}
+	}
+}
+
+func TestRunSimErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("no network should error")
+	}
+	if err := run([]string{"-typical", "-spec", "x.json"}, &b); err == nil {
+		t.Error("conflicting inputs should error")
+	}
+	if err := run([]string{"-spec", "/nope.json"}, &b); err == nil {
+		t.Error("missing spec should error")
+	}
+	if err := run([]string{"-typical", "-intervals", "0"}, &b); err == nil {
+		t.Error("zero intervals should error")
+	}
+}

@@ -1,0 +1,92 @@
+package wirelesshart
+
+import (
+	"wirelesshart/internal/control"
+)
+
+// ControlLoop configures a closed-loop study over a lossy uplink: a PID
+// controller and a first-order plant driven by the cycle probability
+// function of an analyzed path (the paper's future-work extension). Zero
+// gains are valid (that term is disabled).
+type ControlLoop struct {
+	// Kp, Ki, Kd are the PID gains.
+	Kp, Ki, Kd float64
+	// OutMin and OutMax clamp the actuation (required: OutMin < OutMax).
+	OutMin, OutMax float64
+	// PlantGain and PlantTau define the first-order process.
+	PlantGain, PlantTau float64
+	// Setpoint is the control target.
+	Setpoint float64
+	// PeriodS is the reporting-interval duration in seconds.
+	PeriodS float64
+	// Intervals is the number of reporting intervals to simulate.
+	Intervals int
+	// Seed drives the message-loss process.
+	Seed int64
+	// DisturbanceEvery, when positive, adds a load disturbance of
+	// DisturbanceSize to the plant output every that many intervals —
+	// losses then cost real tracking error instead of only stretching
+	// the initial transient.
+	DisturbanceEvery int
+	// DisturbanceSize is the magnitude of each disturbance.
+	DisturbanceSize float64
+}
+
+// ControlLoopOutcome summarizes a closed-loop run.
+type ControlLoopOutcome struct {
+	// ISE is the integral of squared tracking error.
+	ISE float64
+	// MaxAbsError is the worst tracking error observed.
+	MaxAbsError float64
+	// Delivered and Lost count sensor messages.
+	Delivered, Lost int
+	// FinalOutput is the plant output at the end.
+	FinalOutput float64
+	// SettledAt is the first interval with the loop inside the 2% band
+	// through the end, or -1.
+	SettledAt int
+}
+
+// Run simulates the loop against the given cycle probability function
+// (e.g. PathReport.CycleProbs from Analyze).
+func (c ControlLoop) Run(cycleProbs []float64) (*ControlLoopOutcome, error) {
+	pid, err := control.NewPID(c.Kp, c.Ki, c.Kd, c.OutMin, c.OutMax)
+	if err != nil {
+		return nil, err
+	}
+	plant, err := control.NewFirstOrderPlant(c.PlantGain, c.PlantTau)
+	if err != nil {
+		return nil, err
+	}
+	var disturbance func(int) float64
+	if c.DisturbanceEvery > 0 {
+		every, size := c.DisturbanceEvery, c.DisturbanceSize
+		disturbance = func(i int) float64 {
+			if i > 0 && i%every == 0 {
+				return size
+			}
+			return 0
+		}
+	}
+	res, err := control.RunLoop(control.LoopConfig{
+		PID:         pid,
+		Plant:       plant,
+		Setpoint:    c.Setpoint,
+		PeriodS:     c.PeriodS,
+		Intervals:   c.Intervals,
+		CycleProbs:  cycleProbs,
+		Seed:        c.Seed,
+		Disturbance: disturbance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ControlLoopOutcome{
+		ISE:         res.ISE,
+		MaxAbsError: res.MaxAbsError,
+		Delivered:   res.Delivered,
+		Lost:        res.Lost,
+		FinalOutput: res.FinalOutput,
+		SettledAt:   res.SettledAt,
+	}, nil
+}

@@ -1,0 +1,138 @@
+package wirelesshart_test
+
+import (
+	"fmt"
+	"log"
+
+	"wirelesshart"
+)
+
+// ExampleExamplePath reproduces the paper's Section V-A cycle
+// probabilities for the 3-hop example path.
+func ExampleExamplePath() {
+	cycles, err := wirelesshart.ExamplePath([]int{3, 6, 7}, 7, 4, 0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var r float64
+	for i, p := range cycles {
+		fmt.Printf("cycle %d: %.4f\n", i+1, p)
+		r += p
+	}
+	fmt.Printf("reachability: %.4f\n", r)
+	// Output:
+	// cycle 1: 0.4219
+	// cycle 2: 0.3164
+	// cycle 3: 0.1582
+	// cycle 4: 0.0659
+	// reachability: 0.9624
+}
+
+// ExampleNetwork_Analyze analyzes a two-device mesh built from physical
+// link parameters.
+func ExampleNetwork_Analyze() {
+	net := wirelesshart.New()
+	if err := net.Gateway("G"); err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range []string{"sensor", "relay"} {
+		if err := net.Device(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := net.Link("relay", "G", wirelesshart.BER(1e-4)); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Link("sensor", "relay", wirelesshart.EbN0(7)); err != nil {
+		log.Fatal(err)
+	}
+	report, err := net.Analyze(wirelesshart.ReportingInterval(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, _ := report.PathBySource("sensor")
+	fmt.Printf("route: %v\n", p.Route)
+	fmt.Printf("reachability: %.4f\n", p.Reachability)
+	// Output:
+	// route: [sensor relay G]
+	// reachability: 0.9996
+}
+
+// ExampleNetwork_SuggestImprovements ranks the typical network's links by
+// improvement potential: the gateway link of n3 carries four paths and
+// tops the list.
+func ExampleNetwork_SuggestImprovements() {
+	net, err := wirelesshart.Typical()
+	if err != nil {
+		log.Fatal(err)
+	}
+	suggestions, err := net.SuggestImprovements(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := suggestions[0]
+	fmt.Printf("improve %s-%s first (shared by %d paths)\n", top.A, top.B, top.SharedBy)
+	// Output:
+	// improve n3-G first (shared by 4 paths)
+}
+
+// ExampleControlLoop_Run closes a PID loop over a lossy 3-hop uplink.
+func ExampleControlLoop_Run() {
+	cycles, err := wirelesshart.ExamplePath([]int{3, 6, 7}, 7, 4, 0.903)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loop := wirelesshart.ControlLoop{
+		Kp: 0.8, Ki: 0.5, OutMin: -10, OutMax: 10,
+		PlantGain: 1, PlantTau: 2, Setpoint: 1,
+		PeriodS: 0.28, Intervals: 400, Seed: 1,
+	}
+	out, err := loop.Run(cycles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered %d of %d samples, final output %.2f\n",
+		out.Delivered, out.Delivered+out.Lost, out.FinalOutput)
+	// Output:
+	// delivered 399 of 400 samples, final output 1.00
+}
+
+// ExampleRequiredInterval sizes the reporting interval for a reliability
+// target — the design-time inverse of the paper's fast-control trade-off.
+func ExampleRequiredInterval() {
+	// How many super-frames does a 3-hop path at pi(up) = 0.83 need for
+	// 99% delivery? And for 99.9%?
+	is99, err := wirelesshart.RequiredInterval(3, 0.83, 0.99, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	is999, err := wirelesshart.RequiredInterval(3, 0.83, 0.999, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("99%%: Is = %d; 99.9%%: Is = %d\n", is99, is999)
+	// Output:
+	// 99%: Is = 4; 99.9%: Is = 6
+}
+
+// ExampleNetwork_PredictAttachment picks the better of two attachment
+// points for a joining node, as in the paper's Table IV.
+func ExampleNetwork_PredictAttachment() {
+	net, err := wirelesshart.Typical()
+	if err != nil {
+		log.Fatal(err)
+	}
+	alpha, err := net.PredictAttachment("n4", 7) // 2-hop existing path
+	if err != nil {
+		log.Fatal(err)
+	}
+	beta, err := net.PredictAttachment("n1", 6) // 1-hop existing path
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alpha: R=%.4f over %d hops\n", alpha.Reachability, alpha.Hops)
+	fmt.Printf("beta:  R=%.4f over %d hops\n", beta.Reachability, beta.Hops)
+	// Output:
+	// alpha: R=0.9945 over 3 hops
+	// beta:  R=0.9945 over 2 hops
+}

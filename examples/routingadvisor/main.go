@@ -1,0 +1,89 @@
+// Routingadvisor reproduces the paper's Section VI-E scenario: a new field
+// device joins the mesh and must pick its attachment point. The advisor
+// measures each candidate peer link's SNR (here: given), predicts the
+// composed path's cycle probabilities with the paper's convolution rule
+// (Eq. 12), and recommends the candidate with the best reachability —
+// breaking ties by expected delay, exactly as the paper argues.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"wirelesshart"
+)
+
+// candidate is one possible attachment point with the measured SNR of the
+// peer link toward it.
+type candidate struct {
+	via  string
+	ebN0 float64
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("routingadvisor: ")
+
+	net, err := wirelesshart.Typical()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's Table IV: node 5 hears node "n4" (2-hop path) at
+	// Eb/N0 = 7 and node "n1" (1-hop path) at Eb/N0 = 6. We add two more
+	// realistic candidates to make the advisor earn its keep.
+	candidates := []candidate{
+		{via: "n4", ebN0: 7},
+		{via: "n1", ebN0: 6},
+		{via: "n9", ebN0: 12}, // excellent link, but a long existing path
+		{via: "n3", ebN0: 4},  // short path, poor link
+	}
+
+	type outcome struct {
+		candidate
+		pred *wirelesshart.Prediction
+	}
+	var outcomes []outcome
+	for _, c := range candidates {
+		pred, err := net.PredictAttachment(c.via, c.ebN0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{candidate: c, pred: pred})
+	}
+
+	fmt.Println("attachment candidates for the joining node:")
+	for _, o := range outcomes {
+		fmt.Printf("  via %-4s (Eb/N0=%4.1f, composed %d hops): gc=%v  R=%.4f\n",
+			o.via, o.ebN0, o.pred.Hops, fmtCycles(o.pred.CycleProbs), o.pred.Reachability)
+	}
+
+	// Rank: reachability first, then fewer hops (shorter expected delay:
+	// each extra hop costs one more schedule slot, ~10 ms).
+	sort.SliceStable(outcomes, func(i, j int) bool {
+		const tieTolerance = 5e-4 // reachabilities within 0.05% are a tie
+		ri, rj := outcomes[i].pred.Reachability, outcomes[j].pred.Reachability
+		if diff := ri - rj; diff > tieTolerance || diff < -tieTolerance {
+			return ri > rj
+		}
+		return outcomes[i].pred.Hops < outcomes[j].pred.Hops
+	})
+
+	best := outcomes[0]
+	fmt.Printf("\nrecommendation: attach via %s (R=%.4f, %d hops)\n",
+		best.via, best.pred.Reachability, best.pred.Hops)
+	fmt.Println("paper's Table IV subset: alpha (via 2-hop, Eb/N0=7) vs beta (via 1-hop, Eb/N0=6)")
+	fmt.Println("  -> R_alpha ~ R_beta = 99.45%; beta wins on delay, as the paper concludes")
+}
+
+func fmtCycles(g []float64) string {
+	s := "["
+	for i, p := range g {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.4f", p)
+	}
+	return s + "]"
+}

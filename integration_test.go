@@ -1,0 +1,181 @@
+package wirelesshart
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestScaleLargeNetwork exercises the whole pipeline on a 60-device plant
+// mesh with a long reporting interval: routing, scheduling, one DTMC per
+// path, and the aggregate measures, all at a scale well beyond the paper's
+// evaluation.
+func TestScaleLargeNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	net := New()
+	if err := net.Gateway("G"); err != nil {
+		t.Fatal(err)
+	}
+	// Three tiers following the 30/50/20 rule, with randomized per-link
+	// quality.
+	var tier1, tier2 []string
+	addDevice := func(name, parent string) {
+		t.Helper()
+		if err := net.Device(name); err != nil {
+			t.Fatal(err)
+		}
+		avail := 0.75 + 0.2*rng.Float64()
+		if err := net.Link(name, parent, Availability(avail)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 18; i++ {
+		name := fmt.Sprintf("a%d", i)
+		addDevice(name, "G")
+		tier1 = append(tier1, name)
+	}
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("b%d", i)
+		addDevice(name, tier1[rng.Intn(len(tier1))])
+		tier2 = append(tier2, name)
+	}
+	for i := 0; i < 12; i++ {
+		addDevice(fmt.Sprintf("c%d", i), tier2[rng.Intn(len(tier2))])
+	}
+
+	rep, err := net.Analyze(ReportingInterval(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Paths) != 60 {
+		t.Fatalf("paths = %d, want 60", len(rep.Paths))
+	}
+	// 18*1 + 30*2 + 12*3 = 114 transmissions + 1 idle slot.
+	if rep.Fup != 115 {
+		t.Errorf("Fup = %d, want 115", rep.Fup)
+	}
+	for _, p := range rep.Paths {
+		if p.Reachability <= 0.9 || p.Reachability > 1 {
+			t.Errorf("path %s: R = %v out of expected range", p.Source, p.Reachability)
+		}
+		if p.Hops < 1 || p.Hops > 3 {
+			t.Errorf("path %s: %d hops", p.Source, p.Hops)
+		}
+		if p.ExpectedDelayMS <= 0 {
+			t.Errorf("path %s: E[tau] = %v", p.Source, p.ExpectedDelayMS)
+		}
+	}
+	if rep.OverallMeanDelayMS <= 0 || rep.Utilization <= 0 {
+		t.Error("aggregate measures missing")
+	}
+
+	// Multi-channel scheduling at scale: the frame must shrink toward
+	// the gateway-reception bound (60 gateway receptions).
+	mc, err := net.Analyze(ReportingInterval(8), Channels(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Fup >= rep.Fup {
+		t.Errorf("4-channel frame %d should beat single-channel %d", mc.Fup, rep.Fup)
+	}
+	if mc.Fup < 60 {
+		t.Errorf("frame %d below the 60-reception gateway bound", mc.Fup)
+	}
+
+	// A modest simulation cross-check on the scaled network.
+	sim, err := net.Simulate(400, 3, ReportingInterval(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, sp := range sim.Paths {
+		ap, ok := rep.PathBySource(sp.Source)
+		if !ok {
+			t.Fatalf("path %s missing", sp.Source)
+		}
+		if d := math.Abs(sp.Reachability - ap.Reachability); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("largest sim-vs-analytic gap %v at 400 intervals", worst)
+	}
+}
+
+// TestEndToEndFailureRecoveryStory walks the paper's Section VI-C arc on
+// the public API: healthy network -> random-duration failure (degraded) ->
+// permanent failure (path dead) -> topology repair (re-routing through a
+// backup relay) restores service.
+func TestEndToEndFailureRecoveryStory(t *testing.T) {
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// build assembles gateway + relay/backup + sensor; withRelayLink
+	// controls whether the (possibly failed) sensor-relay link exists.
+	build := func(withRelayLink bool) *Network {
+		t.Helper()
+		n := New()
+		must(n.Gateway("G"))
+		for _, d := range []string{"relay", "sensor", "backup"} {
+			must(n.Device(d))
+		}
+		must(n.Link("relay", "G", Availability(0.9)))
+		must(n.Link("backup", "G", Availability(0.9)))
+		if withRelayLink {
+			must(n.Link("sensor", "relay", Availability(0.9)))
+		} else {
+			must(n.Link("sensor", "backup", Availability(0.9)))
+		}
+		return n
+	}
+
+	healthy, err := build(true).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, _ := healthy.PathBySource("sensor")
+	if hs.Reachability < 0.99 {
+		t.Fatalf("healthy R = %v", hs.Reachability)
+	}
+
+	// Random-duration failure on the sensor's first hop: degraded but
+	// alive (frequency hopping does not help; retransmissions do).
+	degraded, err := build(true).Analyze(LinkDownDuring("sensor", "relay", 1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := degraded.PathBySource("sensor")
+	if !(ds.Reachability < hs.Reachability) || ds.Reachability == 0 {
+		t.Errorf("random failure should degrade, not kill: %v vs %v",
+			ds.Reachability, hs.Reachability)
+	}
+
+	// Permanent failure kills the path — "it can not be solved by the
+	// current routing graph".
+	dead, err := build(true).Analyze(LinkPermanentlyDown("sensor", "relay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, _ := dead.PathBySource("sensor")
+	if dd.Reachability != 0 {
+		t.Errorf("permanent failure: R = %v, want 0", dd.Reachability)
+	}
+
+	// Topology repair: the failed link is removed from the routing graph
+	// and the sensor attaches via the backup relay instead.
+	recovered, err := build(false).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := recovered.PathBySource("sensor")
+	if rs.Reachability < 0.99 {
+		t.Errorf("recovered R = %v, want healthy again", rs.Reachability)
+	}
+	if len(rs.Route) != 3 || rs.Route[1] != "backup" {
+		t.Errorf("recovered route = %v, want via backup", rs.Route)
+	}
+}

@@ -1,0 +1,166 @@
+// Package analytic provides closed-form baseline formulas for homogeneous
+// steady-state paths: cycle probabilities, reachability, expected delay and
+// utilization as explicit functions of (hops, per-hop success probability,
+// reporting interval, schedule position). The experiment harness reports
+// these next to the DTMC and the simulator as an independent
+// cross-validation of all three implementations.
+package analytic
+
+import (
+	"fmt"
+
+	"wirelesshart/internal/schedule"
+	"wirelesshart/internal/stats"
+)
+
+// Path describes a homogeneous steady-state path.
+type Path struct {
+	// Hops is the number of links.
+	Hops int
+	// PS is the per-hop success probability (the stationary availability).
+	PS float64
+	// Is is the reporting interval in super-frames.
+	Is int
+	// LastSlot is the frame slot of the final transmission (a0).
+	LastSlot int
+	// Fup and Fdown are the uplink/downlink frame sizes in slots.
+	Fup, Fdown int
+}
+
+func (p Path) validate() error {
+	if p.Hops < 1 {
+		return fmt.Errorf("analytic: hops %d must be positive", p.Hops)
+	}
+	if p.PS < 0 || p.PS > 1 {
+		return fmt.Errorf("analytic: success probability %v out of [0,1]", p.PS)
+	}
+	if p.Is < 1 {
+		return fmt.Errorf("analytic: reporting interval %d must be positive", p.Is)
+	}
+	if p.Fup < 1 || p.LastSlot < 1 || p.LastSlot > p.Fup {
+		return fmt.Errorf("analytic: last slot %d out of [1,%d]", p.LastSlot, p.Fup)
+	}
+	if p.Fdown < 0 {
+		return fmt.Errorf("analytic: downlink frame %d must be non-negative", p.Fdown)
+	}
+	return nil
+}
+
+// CycleProbs returns the negative-binomial cycle probability function:
+// g(i) = C(n+i-2, i-1) ps^n (1-ps)^(i-1) for i = 1..Is.
+func (p Path) CycleProbs() ([]float64, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float64, p.Is)
+	for i := 1; i <= p.Is; i++ {
+		g, err := stats.NegBinomialCycles(p.Hops, p.PS, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i-1] = g
+	}
+	return out, nil
+}
+
+// Reachability returns R = sum_i g(i).
+func (p Path) Reachability() (float64, error) {
+	g, err := p.CycleProbs()
+	if err != nil {
+		return 0, err
+	}
+	var r float64
+	for _, q := range g {
+		r += q
+	}
+	return r, nil
+}
+
+// ExpectedDelayMS returns E[tau] in milliseconds: arrivals in cycle i have
+// delay (a0 + (i-1)(Fup+Fdown)) * 10 ms, weighted by g(i)/R.
+func (p Path) ExpectedDelayMS() (float64, error) {
+	g, err := p.CycleProbs()
+	if err != nil {
+		return 0, err
+	}
+	var r, sum float64
+	for i, q := range g {
+		d := float64(p.LastSlot+i*(p.Fup+p.Fdown)) * schedule.SlotDurationMS
+		sum += q * d
+		r += q
+	}
+	if r == 0 {
+		return 0, fmt.Errorf("analytic: zero reachability, delay undefined")
+	}
+	return sum / r, nil
+}
+
+// UtilizationCorrected returns the corrected Eq. (10) closed form: a
+// message arriving in cycle i used n+i-1 slots (n successes, i-1 failed
+// retransmissions), a discarded message is charged n+Is-1.
+func (p Path) UtilizationCorrected() (float64, error) {
+	g, err := p.CycleProbs()
+	if err != nil {
+		return 0, err
+	}
+	var r, num float64
+	for i, q := range g {
+		num += q * float64(p.Hops+i)
+		r += q
+	}
+	num += (1 - r) * float64(p.Hops+p.Is-1)
+	return num / float64(p.Is*p.Fup), nil
+}
+
+// ExpectedAttempts returns the exact expected number of transmission
+// attempts over the reporting interval via a per-cycle recursion on the
+// number of remaining hops: in one cycle, a message with k hops left
+// attempts 1 + ps + ... + ps^(k-1)... truncated at the cycle boundary, and
+// advances j hops with probability ps^j (1-ps) (all k with ps^k). This is
+// the same quantity the DTMC computes and is used to validate it.
+func (p Path) ExpectedAttempts() (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	n := p.Hops
+	ps := p.PS
+	// attemptsPerCycle[k]: expected attempts in one cycle with k hops
+	// remaining = sum_{j=0}^{k-1} ps^j.
+	attemptsPerCycle := make([]float64, n+1)
+	pow := 1.0
+	for k := 1; k <= n; k++ {
+		attemptsPerCycle[k] = attemptsPerCycle[k-1] + pow
+		pow *= ps
+	}
+	// state[k] = P(k hops remaining at the start of the cycle).
+	state := make([]float64, n+1)
+	state[n] = 1
+	var total float64
+	for c := 0; c < p.Is; c++ {
+		next := make([]float64, n+1)
+		for k := 1; k <= n; k++ {
+			if state[k] == 0 {
+				continue
+			}
+			total += state[k] * attemptsPerCycle[k]
+			// Advance j in 0..k-1 hops then fail, or complete all k.
+			pj := 1.0
+			for j := 0; j < k; j++ {
+				next[k-j] += state[k] * pj * (1 - ps)
+				pj *= ps
+			}
+			// Arrived: k-0 remaining -> absorbed, not carried over.
+		}
+		state = next
+	}
+	return total, nil
+}
+
+// UtilizationExact returns ExpectedAttempts / (Is * Fup).
+func (p Path) UtilizationExact() (float64, error) {
+	a, err := p.ExpectedAttempts()
+	if err != nil {
+		return 0, err
+	}
+	return a / float64(p.Is*p.Fup), nil
+}

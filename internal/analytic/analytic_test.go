@@ -1,0 +1,134 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wirelesshart/internal/link"
+	"wirelesshart/internal/pathmodel"
+)
+
+func examplePath() Path {
+	return Path{Hops: 3, PS: 0.75, Is: 4, LastSlot: 7, Fup: 7, Fdown: 7}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Path{
+		{Hops: 0, PS: 0.5, Is: 4, LastSlot: 1, Fup: 7, Fdown: 7},
+		{Hops: 1, PS: -0.1, Is: 4, LastSlot: 1, Fup: 7, Fdown: 7},
+		{Hops: 1, PS: 0.5, Is: 0, LastSlot: 1, Fup: 7, Fdown: 7},
+		{Hops: 1, PS: 0.5, Is: 4, LastSlot: 0, Fup: 7, Fdown: 7},
+		{Hops: 1, PS: 0.5, Is: 4, LastSlot: 8, Fup: 7, Fdown: 7},
+		{Hops: 1, PS: 0.5, Is: 4, LastSlot: 1, Fup: 7, Fdown: -1},
+	}
+	for i, p := range bad {
+		if _, err := p.CycleProbs(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestCycleProbsFig6(t *testing.T) {
+	g, err := examplePath().CycleProbs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.4219, 0.3164, 0.1582, 0.06592}
+	for i, w := range want {
+		if math.Abs(g[i]-w) > 5e-5 {
+			t.Errorf("g[%d] = %v, want %v", i, g[i], w)
+		}
+	}
+}
+
+func TestReachabilityAndDelayExample(t *testing.T) {
+	p := examplePath()
+	r, err := p.Reachability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.9624) > 5e-5 {
+		t.Errorf("R = %v, want 0.9624", r)
+	}
+	d, err := p.ExpectedDelayMS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-190.8) > 0.1 {
+		t.Errorf("E[tau] = %v, want 190.8", d)
+	}
+}
+
+func TestUtilizationCorrectedExample(t *testing.T) {
+	// Section V-A: U_p = 0.14.
+	u, err := examplePath().UtilizationCorrected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.14) > 0.002 {
+		t.Errorf("U_p = %v, want ~0.14", u)
+	}
+}
+
+func TestExpectedAttemptsMatchesDTMC(t *testing.T) {
+	// The recursion must agree exactly with the path model's attempt
+	// accounting for any homogeneous steady-state path.
+	f := func(availRaw, hopsRaw, isRaw uint8) bool {
+		avail := 0.5 + float64(availRaw%45)/100
+		hops := int(hopsRaw%4) + 1
+		is := int(isRaw%4) + 1
+		lm, err := link.FromAvailability(avail, 0.9)
+		if err != nil {
+			return false
+		}
+		slots := make([]int, hops)
+		links := make([]link.Availability, hops)
+		for h := 0; h < hops; h++ {
+			slots[h] = h + 1
+			links[h] = lm.Steady()
+		}
+		m, err := pathmodel.Build(pathmodel.Config{Slots: slots, Fup: hops + 1, Is: is, Links: links})
+		if err != nil {
+			return false
+		}
+		res, err := m.Solve()
+		if err != nil {
+			return false
+		}
+		p := Path{Hops: hops, PS: avail, Is: is, LastSlot: hops, Fup: hops + 1, Fdown: hops + 1}
+		want, err := p.ExpectedAttempts()
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.ExpectedAttempts-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedAttemptsPerfectLinks(t *testing.T) {
+	p := Path{Hops: 3, PS: 1, Is: 4, LastSlot: 3, Fup: 5, Fdown: 5}
+	a, err := p.ExpectedAttempts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 3 {
+		t.Errorf("perfect links attempts = %v, want 3", a)
+	}
+	u, err := p.UtilizationExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-3.0/20) > 1e-12 {
+		t.Errorf("U = %v, want 0.15", u)
+	}
+}
+
+func TestExpectedDelayZeroReachability(t *testing.T) {
+	p := Path{Hops: 2, PS: 0, Is: 4, LastSlot: 2, Fup: 5, Fdown: 5}
+	if _, err := p.ExpectedDelayMS(); err == nil {
+		t.Error("zero reachability delay should error")
+	}
+}

@@ -1,0 +1,110 @@
+// Package channel models the WirelessHART physical layer as the paper does:
+// a binary symmetric channel whose bit error rate follows from the OQPSK
+// modulation over an AWGN channel (Section III), plus the 16-channel
+// 2.4 GHz hopping machinery with blacklisting that motivates the link
+// model's recovery probability.
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Modulation identifies a digital modulation scheme with a known BER curve
+// over AWGN.
+type Modulation int
+
+const (
+	// OQPSK is offset quadrature phase-shift keying, the WirelessHART
+	// (IEEE 802.15.4) radio modulation. Its AWGN bit error rate is
+	// BER = 0.5 erfc(sqrt(Eb/N0)) (paper Eq. 1).
+	OQPSK Modulation = iota + 1
+	// BPSK is binary phase-shift keying; same AWGN BER curve as OQPSK.
+	BPSK
+	// NCFSK is non-coherent binary FSK: BER = 0.5 exp(-Eb/N0 / 2). Included
+	// as a pessimistic comparator.
+	NCFSK
+)
+
+// String returns the modulation name.
+func (m Modulation) String() string {
+	switch m {
+	case OQPSK:
+		return "OQPSK"
+	case BPSK:
+		return "BPSK"
+	case NCFSK:
+		return "NCFSK"
+	default:
+		return fmt.Sprintf("Modulation(%d)", int(m))
+	}
+}
+
+// DefaultMessageBits is the bit length of a typical WirelessHART MAC-layer
+// message: the standard's 127-byte maximum payload (paper Section V-B).
+const DefaultMessageBits = 127 * 8
+
+// ErrBadSNR is returned for non-finite or negative linear SNR values.
+var ErrBadSNR = errors.New("channel: Eb/N0 must be finite and non-negative")
+
+// BER returns the bit error rate of the modulation over an AWGN channel at
+// the given linear (not dB) Eb/N0.
+func BER(m Modulation, ebN0 float64) (float64, error) {
+	if math.IsNaN(ebN0) || math.IsInf(ebN0, 0) || ebN0 < 0 {
+		return 0, fmt.Errorf("%w: %v", ErrBadSNR, ebN0)
+	}
+	switch m {
+	case OQPSK, BPSK:
+		return 0.5 * math.Erfc(math.Sqrt(ebN0)), nil
+	case NCFSK:
+		return 0.5 * math.Exp(-ebN0/2), nil
+	default:
+		return 0, fmt.Errorf("channel: unknown modulation %v", m)
+	}
+}
+
+// BEROQPSK returns the paper's Eq. (1): the OQPSK bit error rate at linear
+// Eb/N0.
+func BEROQPSK(ebN0 float64) (float64, error) { return BER(OQPSK, ebN0) }
+
+// MessageFailureProb returns the paper's Eq. (2): the probability that a
+// message of bits length suffers at least one bit error on a binary
+// symmetric channel with the given BER,
+//
+//	p_fl = 1 - (1-BER)^bits.
+func MessageFailureProb(ber float64, bits int) (float64, error) {
+	if ber < 0 || ber > 1 || math.IsNaN(ber) {
+		return 0, fmt.Errorf("channel: BER %v out of [0,1]", ber)
+	}
+	if bits < 1 {
+		return 0, fmt.Errorf("channel: message must have at least one bit, got %d", bits)
+	}
+	// Use expm1/log1p for precision at small BER: 1-(1-b)^L =
+	// -expm1(L*log1p(-b)).
+	return -math.Expm1(float64(bits) * math.Log1p(-ber)), nil
+}
+
+// BERFromFailureProb inverts MessageFailureProb: the BER that yields the
+// given message failure probability at the given message length.
+func BERFromFailureProb(pfl float64, bits int) (float64, error) {
+	if pfl < 0 || pfl >= 1 || math.IsNaN(pfl) {
+		return 0, fmt.Errorf("channel: failure probability %v out of [0,1)", pfl)
+	}
+	if bits < 1 {
+		return 0, fmt.Errorf("channel: message must have at least one bit, got %d", bits)
+	}
+	return -math.Expm1(math.Log1p(-pfl) / float64(bits)), nil
+}
+
+// DBToLinear converts a decibel power ratio to linear.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear power ratio to decibels. Non-positive inputs
+// return -Inf.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}

@@ -1,0 +1,66 @@
+package channel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BSC is a binary symmetric channel: each transmitted bit is flipped
+// independently with probability CrossoverProb (the BER). It is the
+// bit-level model of paper Section III (Fig. 2).
+type BSC struct {
+	crossover float64
+	rng       *rand.Rand
+}
+
+// NewBSC returns a BSC with the given crossover probability, using the
+// given pseudo-random source. rng must not be nil.
+func NewBSC(crossover float64, rng *rand.Rand) (*BSC, error) {
+	if crossover < 0 || crossover > 1 {
+		return nil, fmt.Errorf("channel: crossover probability %v out of [0,1]", crossover)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("channel: BSC requires a random source")
+	}
+	return &BSC{crossover: crossover, rng: rng}, nil
+}
+
+// CrossoverProb returns the channel's bit error probability.
+func (c *BSC) CrossoverProb() float64 { return c.crossover }
+
+// TransmitBit sends one bit through the channel and returns the received
+// bit.
+func (c *BSC) TransmitBit(x bool) bool {
+	if c.rng.Float64() < c.crossover {
+		return !x
+	}
+	return x
+}
+
+// Transmit sends a bit string through the channel, returning the received
+// bits and the number of bit errors introduced.
+func (c *BSC) Transmit(bits []bool) (received []bool, errors int) {
+	received = make([]bool, len(bits))
+	for i, b := range bits {
+		received[i] = c.TransmitBit(b)
+		if received[i] != b {
+			errors++
+		}
+	}
+	return received, errors
+}
+
+// TransmitMessage sends an opaque message of the given bit length and
+// reports whether it arrived without any bit error. This is the
+// whole-message abstraction used by the link model: a message survives with
+// probability (1-BER)^bits.
+func (c *BSC) TransmitMessage(bits int) bool {
+	// Equivalent to flipping `bits` coins, but done in one draw against
+	// the closed-form survival probability to keep simulation cheap.
+	p, err := MessageFailureProb(c.crossover, bits)
+	if err != nil {
+		// bits < 1: treat a degenerate empty message as always delivered.
+		return true
+	}
+	return c.rng.Float64() >= p
+}

@@ -1,0 +1,92 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewBSCValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewBSC(-0.1, rng); err == nil {
+		t.Error("negative crossover should error")
+	}
+	if _, err := NewBSC(1.1, rng); err == nil {
+		t.Error("crossover > 1 should error")
+	}
+	if _, err := NewBSC(0.5, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+	c, err := NewBSC(0.25, rng)
+	if err != nil {
+		t.Fatalf("NewBSC error: %v", err)
+	}
+	if c.CrossoverProb() != 0.25 {
+		t.Errorf("CrossoverProb() = %v, want 0.25", c.CrossoverProb())
+	}
+}
+
+func TestBSCNoiselessPerfect(t *testing.T) {
+	c, _ := NewBSC(0, rand.New(rand.NewSource(1)))
+	bits := []bool{true, false, true, true, false}
+	got, errs := c.Transmit(bits)
+	if errs != 0 {
+		t.Errorf("noiseless channel introduced %d errors", errs)
+	}
+	for i, b := range bits {
+		if got[i] != b {
+			t.Errorf("bit %d flipped on noiseless channel", i)
+		}
+	}
+}
+
+func TestBSCAlwaysFlips(t *testing.T) {
+	c, _ := NewBSC(1, rand.New(rand.NewSource(1)))
+	if c.TransmitBit(true) != false {
+		t.Error("crossover=1 should always flip")
+	}
+	_, errs := c.Transmit([]bool{true, true, true})
+	if errs != 3 {
+		t.Errorf("crossover=1 flipped %d of 3 bits", errs)
+	}
+}
+
+func TestBSCErrorRateConverges(t *testing.T) {
+	const ber = 0.1
+	c, _ := NewBSC(ber, rand.New(rand.NewSource(42)))
+	const n = 100000
+	bits := make([]bool, n)
+	_, errs := c.Transmit(bits)
+	got := float64(errs) / n
+	if math.Abs(got-ber) > 0.005 {
+		t.Errorf("empirical BER = %v, want ~%v", got, ber)
+	}
+}
+
+func TestBSCTransmitMessageMatchesClosedForm(t *testing.T) {
+	// The one-draw message transmission must match p_fl = 1-(1-BER)^L.
+	const ber = 1e-4
+	c, _ := NewBSC(ber, rand.New(rand.NewSource(7)))
+	want, err := MessageFailureProb(ber, DefaultMessageBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	fails := 0
+	for i := 0; i < n; i++ {
+		if !c.TransmitMessage(DefaultMessageBits) {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if math.Abs(got-want) > 0.003 {
+		t.Errorf("empirical p_fl = %v, want ~%v", got, want)
+	}
+}
+
+func TestBSCTransmitMessageDegenerate(t *testing.T) {
+	c, _ := NewBSC(0.5, rand.New(rand.NewSource(1)))
+	if !c.TransmitMessage(0) {
+		t.Error("zero-bit message should always be delivered")
+	}
+}

@@ -1,0 +1,150 @@
+package channel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NumChannels is the number of non-overlapping 2.4 GHz frequency channels
+// WirelessHART divides the ISM band into (IEEE 802.15.4 channels 11-26).
+const NumChannels = 16
+
+// HopSequence generates the pseudo-random channel hopping pattern used per
+// slot, skipping blacklisted channels. It mirrors the standard's behaviour
+// that motivates the link model's high recovery probability: after a bad
+// slot the next transmission almost surely lands on a different, healthy
+// channel.
+type HopSequence struct {
+	rng       *rand.Rand
+	blacklist *Blacklist
+}
+
+// NewHopSequence returns a hop sequence driven by rng over the channels not
+// excluded by blacklist. blacklist may be nil for no exclusions; rng must
+// not be nil.
+func NewHopSequence(rng *rand.Rand, blacklist *Blacklist) (*HopSequence, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("channel: hop sequence requires a random source")
+	}
+	return &HopSequence{rng: rng, blacklist: blacklist}, nil
+}
+
+// Next returns the channel index for the next slot, uniformly random over
+// the active (non-blacklisted) channels. If every channel is blacklisted it
+// returns an error.
+func (h *HopSequence) Next() (int, error) {
+	active := h.activeChannels()
+	if len(active) == 0 {
+		return 0, fmt.Errorf("channel: all %d channels blacklisted", NumChannels)
+	}
+	return active[h.rng.Intn(len(active))], nil
+}
+
+func (h *HopSequence) activeChannels() []int {
+	out := make([]int, 0, NumChannels)
+	for c := 0; c < NumChannels; c++ {
+		if h.blacklist != nil && h.blacklist.Contains(c) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Blacklist tracks channels banned by the network manager after sustained
+// interference (paper Section II). The zero value is an empty blacklist.
+type Blacklist struct {
+	banned map[int]bool
+}
+
+// NewBlacklist returns an empty blacklist.
+func NewBlacklist() *Blacklist { return &Blacklist{banned: map[int]bool{}} }
+
+// Ban adds a channel to the blacklist. Channel indices outside [0,
+// NumChannels) are rejected.
+func (b *Blacklist) Ban(ch int) error {
+	if ch < 0 || ch >= NumChannels {
+		return fmt.Errorf("channel: index %d out of [0,%d)", ch, NumChannels)
+	}
+	if b.banned == nil {
+		b.banned = map[int]bool{}
+	}
+	b.banned[ch] = true
+	return nil
+}
+
+// Unban removes a channel from the blacklist (idempotent).
+func (b *Blacklist) Unban(ch int) {
+	delete(b.banned, ch)
+}
+
+// Contains reports whether the channel is blacklisted.
+func (b *Blacklist) Contains(ch int) bool { return b.banned[ch] }
+
+// Len returns the number of blacklisted channels.
+func (b *Blacklist) Len() int { return len(b.banned) }
+
+// Channels returns the blacklisted channel indices in ascending order.
+func (b *Blacklist) Channels() []int {
+	out := make([]int, 0, len(b.banned))
+	for ch := range b.banned {
+		out = append(out, ch)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BlacklistManager applies the network manager's policy: a channel whose
+// failure count within a sliding window exceeds a threshold is banned.
+type BlacklistManager struct {
+	blacklist *Blacklist
+	threshold int
+	window    int
+	history   map[int][]bool // per channel, most recent window outcomes
+}
+
+// NewBlacklistManager returns a manager that bans a channel once it records
+// at least threshold failures within the last window observations.
+func NewBlacklistManager(threshold, window int) (*BlacklistManager, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("channel: blacklist threshold must be >= 1, got %d", threshold)
+	}
+	if window < threshold {
+		return nil, fmt.Errorf("channel: window %d smaller than threshold %d", window, threshold)
+	}
+	return &BlacklistManager{
+		blacklist: NewBlacklist(),
+		threshold: threshold,
+		window:    window,
+		history:   map[int][]bool{},
+	}, nil
+}
+
+// Blacklist returns the managed blacklist.
+func (m *BlacklistManager) Blacklist() *Blacklist { return m.blacklist }
+
+// Record registers the outcome of a transmission on a channel and applies
+// the banning policy. It returns true if the channel is (now) banned.
+func (m *BlacklistManager) Record(ch int, success bool) (bool, error) {
+	if ch < 0 || ch >= NumChannels {
+		return false, fmt.Errorf("channel: index %d out of [0,%d)", ch, NumChannels)
+	}
+	h := append(m.history[ch], !success)
+	if len(h) > m.window {
+		h = h[len(h)-m.window:]
+	}
+	m.history[ch] = h
+	fails := 0
+	for _, f := range h {
+		if f {
+			fails++
+		}
+	}
+	if fails >= m.threshold {
+		if err := m.blacklist.Ban(ch); err != nil {
+			return false, err
+		}
+	}
+	return m.blacklist.Contains(ch), nil
+}

@@ -1,0 +1,179 @@
+package channel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHopSequenceUniform(t *testing.T) {
+	h, err := NewHopSequence(rand.New(rand.NewSource(3)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, NumChannels)
+	const n = 16000
+	for i := 0; i < n; i++ {
+		ch, err := h.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch < 0 || ch >= NumChannels {
+			t.Fatalf("channel %d out of range", ch)
+		}
+		counts[ch]++
+	}
+	for ch, c := range counts {
+		if c < n/NumChannels/2 || c > n/NumChannels*2 {
+			t.Errorf("channel %d hit %d times, expected ~%d", ch, c, n/NumChannels)
+		}
+	}
+}
+
+func TestHopSequenceSkipsBlacklisted(t *testing.T) {
+	bl := NewBlacklist()
+	for ch := 0; ch < 8; ch++ {
+		if err := bl.Ban(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := NewHopSequence(rand.New(rand.NewSource(3)), bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		ch, err := h.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch < 8 {
+			t.Fatalf("hop landed on blacklisted channel %d", ch)
+		}
+	}
+}
+
+func TestHopSequenceAllBanned(t *testing.T) {
+	bl := NewBlacklist()
+	for ch := 0; ch < NumChannels; ch++ {
+		if err := bl.Ban(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, _ := NewHopSequence(rand.New(rand.NewSource(3)), bl)
+	if _, err := h.Next(); err == nil {
+		t.Error("all channels banned should error")
+	}
+}
+
+func TestHopSequenceNilRNG(t *testing.T) {
+	if _, err := NewHopSequence(nil, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+}
+
+func TestBlacklistZeroValue(t *testing.T) {
+	var b Blacklist
+	if b.Contains(3) {
+		t.Error("zero-value blacklist should be empty")
+	}
+	if err := b.Ban(3); err != nil {
+		t.Fatalf("Ban on zero value: %v", err)
+	}
+	if !b.Contains(3) {
+		t.Error("Ban(3) then Contains(3) = false")
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", b.Len())
+	}
+	b.Unban(3)
+	if b.Contains(3) {
+		t.Error("Unban(3) then Contains(3) = true")
+	}
+	b.Unban(3) // idempotent
+}
+
+func TestBlacklistBanRange(t *testing.T) {
+	b := NewBlacklist()
+	if err := b.Ban(-1); err == nil {
+		t.Error("Ban(-1) should error")
+	}
+	if err := b.Ban(NumChannels); err == nil {
+		t.Error("Ban(16) should error")
+	}
+}
+
+func TestBlacklistChannelsSorted(t *testing.T) {
+	b := NewBlacklist()
+	for _, ch := range []int{9, 2, 5} {
+		if err := b.Ban(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := b.Channels()
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Channels() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Channels()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBlacklistManagerBansAfterThreshold(t *testing.T) {
+	m, err := NewBlacklistManager(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banned, err := m.Record(4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banned {
+		t.Error("one failure should not ban")
+	}
+	if _, err := m.Record(4, false); err != nil {
+		t.Fatal(err)
+	}
+	banned, err = m.Record(4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !banned {
+		t.Error("three failures in window should ban")
+	}
+	if !m.Blacklist().Contains(4) {
+		t.Error("blacklist should contain banned channel")
+	}
+}
+
+func TestBlacklistManagerWindowSlides(t *testing.T) {
+	m, err := NewBlacklistManager(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failures diluted by successes never reach threshold within window.
+	seq := []bool{false, true, false, true, false, true, false}
+	for _, ok := range seq {
+		banned, err := m.Record(2, ok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if banned {
+			t.Fatal("diluted failures should not ban with window 3")
+		}
+	}
+}
+
+func TestBlacklistManagerValidation(t *testing.T) {
+	if _, err := NewBlacklistManager(0, 5); err == nil {
+		t.Error("threshold 0 should error")
+	}
+	if _, err := NewBlacklistManager(5, 3); err == nil {
+		t.Error("window < threshold should error")
+	}
+	m, _ := NewBlacklistManager(1, 1)
+	if _, err := m.Record(-1, true); err == nil {
+		t.Error("bad channel index should error")
+	}
+}

@@ -1,0 +1,103 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AWGNChannel is a synthetic additive-white-Gaussian-noise channel used in
+// place of a physical radio for pilot-based SNR estimation. The paper
+// measures the received SNR "using pilot packages that are transmitted from
+// one node to the other"; we substitute a calibrated synthetic channel that
+// exercises the same estimation path (see DESIGN.md, substitutions).
+type AWGNChannel struct {
+	ebN0 float64 // true linear Eb/N0
+	rng  *rand.Rand
+}
+
+// NewAWGNChannel returns a channel with the given true linear Eb/N0.
+func NewAWGNChannel(ebN0 float64, rng *rand.Rand) (*AWGNChannel, error) {
+	if math.IsNaN(ebN0) || math.IsInf(ebN0, 0) || ebN0 < 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadSNR, ebN0)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("channel: AWGN channel requires a random source")
+	}
+	return &AWGNChannel{ebN0: ebN0, rng: rng}, nil
+}
+
+// TrueEbN0 returns the channel's configured linear Eb/N0.
+func (c *AWGNChannel) TrueEbN0() float64 { return c.ebN0 }
+
+// ReceivePilot transmits one unit-energy pilot symbol and returns the
+// received sample: sqrt(Eb) + noise with noise variance N0/2 per dimension.
+// With Eb normalized to 1, the sample is 1 + n where n ~ N(0, 1/(2*EbN0)).
+func (c *AWGNChannel) ReceivePilot() float64 {
+	if c.ebN0 == 0 {
+		// Pure noise with unbounded variance is meaningless; model the
+		// zero-SNR limit as noise of unit variance around zero signal.
+		return c.rng.NormFloat64()
+	}
+	sigma := math.Sqrt(1 / (2 * c.ebN0))
+	return 1 + sigma*c.rng.NormFloat64()
+}
+
+// EstimateEbN0 sends n pilot symbols and returns the moment-based estimate
+// of the linear Eb/N0: mean^2 / (2 * sample variance). At least two pilots
+// are required.
+func (c *AWGNChannel) EstimateEbN0(n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("channel: SNR estimation needs at least 2 pilots, got %d", n)
+	}
+	var mean, m2 float64
+	for i := 1; i <= n; i++ {
+		x := c.ReceivePilot()
+		delta := x - mean
+		mean += delta / float64(i)
+		m2 += delta * (x - mean)
+	}
+	variance := m2 / float64(n-1)
+	if variance <= 0 {
+		return 0, fmt.Errorf("channel: degenerate pilot variance %v", variance)
+	}
+	return mean * mean / (2 * variance), nil
+}
+
+// LinkBudget bundles the full physical-layer pipeline of paper Sections III
+// and VI-E: measure SNR via pilots, derive the OQPSK BER (Eq. 1), and the
+// message failure probability (Eq. 2).
+type LinkBudget struct {
+	// EbN0 is the linear signal-to-noise ratio per bit.
+	EbN0 float64
+	// BER is the resulting OQPSK bit error rate.
+	BER float64
+	// MessageBits is the message length used for the failure probability.
+	MessageBits int
+	// FailureProb is p_fl = 1-(1-BER)^MessageBits.
+	FailureProb float64
+}
+
+// BudgetFromEbN0 computes the link budget for a known linear Eb/N0 and
+// message length.
+func BudgetFromEbN0(ebN0 float64, messageBits int) (LinkBudget, error) {
+	ber, err := BEROQPSK(ebN0)
+	if err != nil {
+		return LinkBudget{}, err
+	}
+	pfl, err := MessageFailureProb(ber, messageBits)
+	if err != nil {
+		return LinkBudget{}, err
+	}
+	return LinkBudget{EbN0: ebN0, BER: ber, MessageBits: messageBits, FailureProb: pfl}, nil
+}
+
+// BudgetFromPilots estimates Eb/N0 over the channel with n pilots and
+// returns the resulting budget.
+func BudgetFromPilots(c *AWGNChannel, n, messageBits int) (LinkBudget, error) {
+	est, err := c.EstimateEbN0(n)
+	if err != nil {
+		return LinkBudget{}, err
+	}
+	return BudgetFromEbN0(est, messageBits)
+}

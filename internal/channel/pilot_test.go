@@ -1,0 +1,110 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAWGNChannelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewAWGNChannel(-1, rng); err == nil {
+		t.Error("negative Eb/N0 should error")
+	}
+	if _, err := NewAWGNChannel(math.NaN(), rng); err == nil {
+		t.Error("NaN Eb/N0 should error")
+	}
+	if _, err := NewAWGNChannel(7, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+	c, err := NewAWGNChannel(7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TrueEbN0() != 7 {
+		t.Errorf("TrueEbN0() = %v, want 7", c.TrueEbN0())
+	}
+}
+
+func TestEstimateEbN0Converges(t *testing.T) {
+	// Section VI-E measures Eb/N0 = 7 and 6 via pilots; the estimator must
+	// recover the true value from enough pilots.
+	for _, true0 := range []float64{7, 6, 3} {
+		c, err := NewAWGNChannel(true0, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := c.EstimateEbN0(200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-true0)/true0 > 0.05 {
+			t.Errorf("EstimateEbN0 for true %v = %v (>5%% off)", true0, est)
+		}
+	}
+}
+
+func TestEstimateEbN0TooFewPilots(t *testing.T) {
+	c, _ := NewAWGNChannel(7, rand.New(rand.NewSource(1)))
+	if _, err := c.EstimateEbN0(1); err == nil {
+		t.Error("one pilot should error")
+	}
+}
+
+func TestReceivePilotZeroSNR(t *testing.T) {
+	c, _ := NewAWGNChannel(0, rand.New(rand.NewSource(1)))
+	// Zero-SNR limit: samples are pure noise; just confirm it does not
+	// panic or return non-finite values.
+	for i := 0; i < 100; i++ {
+		if x := c.ReceivePilot(); math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("pilot sample %v not finite", x)
+		}
+	}
+}
+
+func TestBudgetFromEbN0PaperTable4(t *testing.T) {
+	// Section VI-E: Eb/N0=7 -> BER 9.14e-5 -> p_fl 0.089;
+	// Eb/N0=6 -> BER 2.66e-4 -> p_fl 0.237.
+	b3, err := BudgetFromEbN0(7, DefaultMessageBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b3.BER-9.14e-5) > 5e-7 {
+		t.Errorf("BER at Eb/N0=7: %v, want 9.14e-5", b3.BER)
+	}
+	if math.Abs(b3.FailureProb-0.089) > 5e-4 {
+		t.Errorf("p_fl at Eb/N0=7: %v, want 0.089", b3.FailureProb)
+	}
+	b4, err := BudgetFromEbN0(6, DefaultMessageBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b4.FailureProb-0.237) > 5e-4 {
+		t.Errorf("p_fl at Eb/N0=6: %v, want 0.237", b4.FailureProb)
+	}
+}
+
+func TestBudgetFromEbN0Errors(t *testing.T) {
+	if _, err := BudgetFromEbN0(-1, 1016); err == nil {
+		t.Error("negative SNR should error")
+	}
+	if _, err := BudgetFromEbN0(7, 0); err == nil {
+		t.Error("zero-length message should error")
+	}
+}
+
+func TestBudgetFromPilots(t *testing.T) {
+	c, _ := NewAWGNChannel(7, rand.New(rand.NewSource(5)))
+	b, err := BudgetFromPilots(c, 100000, DefaultMessageBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimated budget should land near the true one.
+	trueB, _ := BudgetFromEbN0(7, DefaultMessageBits)
+	if math.Abs(b.FailureProb-trueB.FailureProb) > 0.03 {
+		t.Errorf("pilot-estimated p_fl = %v, true %v", b.FailureProb, trueB.FailureProb)
+	}
+	if _, err := BudgetFromPilots(c, 1, DefaultMessageBits); err == nil {
+		t.Error("too few pilots should error")
+	}
+}

@@ -1,0 +1,262 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPIDValidation(t *testing.T) {
+	if _, err := NewPID(-1, 0, 0, -1, 1); err == nil {
+		t.Error("negative gain should error")
+	}
+	if _, err := NewPID(1, 0, 0, 1, 1); err == nil {
+		t.Error("equal output limits should error")
+	}
+	if _, err := NewPID(math.NaN(), 0, 0, -1, 1); err == nil {
+		t.Error("NaN gain should error")
+	}
+	if _, err := NewPID(1, 0.1, 0.01, -10, 10); err != nil {
+		t.Errorf("valid PID rejected: %v", err)
+	}
+}
+
+func TestPIDProportionalOnly(t *testing.T) {
+	c, err := NewPID(2, 0, 0, -100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Update(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 6 {
+		t.Errorf("P-only output = %v, want 6", out)
+	}
+}
+
+func TestPIDIntegralAccumulates(t *testing.T) {
+	c, _ := NewPID(0, 1, 0, -100, 100)
+	out1, _ := c.Update(1, 1)
+	out2, _ := c.Update(1, 1)
+	if out1 != 1 || out2 != 2 {
+		t.Errorf("I outputs = %v, %v, want 1, 2", out1, out2)
+	}
+}
+
+func TestPIDDerivativeNeedsTwoSamples(t *testing.T) {
+	c, _ := NewPID(0, 0, 1, -100, 100)
+	out1, _ := c.Update(5, 1)
+	if out1 != 0 {
+		t.Errorf("first D output = %v, want 0 (unprimed)", out1)
+	}
+	out2, _ := c.Update(7, 1)
+	if out2 != 2 {
+		t.Errorf("second D output = %v, want 2", out2)
+	}
+}
+
+func TestPIDClampsAndAntiWindup(t *testing.T) {
+	c, _ := NewPID(0, 1, 0, -1, 1)
+	for i := 0; i < 100; i++ {
+		out, err := c.Update(10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out > 1 || out < -1 {
+			t.Fatalf("output %v escaped clamp", out)
+		}
+	}
+	// After heavy positive error, a negative error must pull the output
+	// down quickly (the integral did not wind up to 1000).
+	out, _ := c.Update(-2, 1)
+	if out > 0.5 {
+		t.Errorf("anti-windup failed: output %v after sign reversal", out)
+	}
+}
+
+func TestPIDUpdateValidation(t *testing.T) {
+	c, _ := NewPID(1, 0, 0, -1, 1)
+	if _, err := c.Update(1, 0); err == nil {
+		t.Error("dt=0 should error")
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	c, _ := NewPID(0, 1, 0, -100, 100)
+	if _, err := c.Update(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	out, _ := c.Update(1, 1)
+	if out != 1 {
+		t.Errorf("after Reset, output = %v, want 1", out)
+	}
+}
+
+func TestFirstOrderPlantStepResponse(t *testing.T) {
+	p, err := NewFirstOrderPlant(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One time constant: y = K*u*(1-e^-1).
+	y, err := p.Step(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (1 - math.Exp(-1))
+	if math.Abs(y-want) > 1e-12 {
+		t.Errorf("step response = %v, want %v", y, want)
+	}
+	// Long horizon: converges to K*u.
+	for i := 0; i < 100; i++ {
+		if _, err := p.Step(1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(p.Output()-2) > 1e-9 {
+		t.Errorf("steady state = %v, want 2", p.Output())
+	}
+}
+
+func TestFirstOrderPlantValidation(t *testing.T) {
+	if _, err := NewFirstOrderPlant(1, 0); err == nil {
+		t.Error("zero time constant should error")
+	}
+	if _, err := NewFirstOrderPlant(math.Inf(1), 1); err == nil {
+		t.Error("infinite gain should error")
+	}
+	p, _ := NewFirstOrderPlant(1, 1)
+	if _, err := p.Step(1, 0); err == nil {
+		t.Error("zero dt should error")
+	}
+	p.SetOutput(5)
+	if p.Output() != 5 {
+		t.Error("SetOutput/Output mismatch")
+	}
+}
+
+func loopConfig(t *testing.T, cycleProbs []float64) LoopConfig {
+	t.Helper()
+	pid, err := NewPID(0.8, 0.5, 0, -10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant, err := NewFirstOrderPlant(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LoopConfig{
+		PID:        pid,
+		Plant:      plant,
+		Setpoint:   1,
+		PeriodS:    0.4, // Is=4, Fs=20: 400 ms reporting interval
+		Intervals:  500,
+		CycleProbs: cycleProbs,
+		Seed:       21,
+	}
+}
+
+func TestRunLoopValidation(t *testing.T) {
+	good := loopConfig(t, []float64{0.9})
+	bad := good
+	bad.PID = nil
+	if _, err := RunLoop(bad); err == nil {
+		t.Error("nil PID should error")
+	}
+	bad = good
+	bad.PeriodS = 0
+	if _, err := RunLoop(bad); err == nil {
+		t.Error("zero period should error")
+	}
+	bad = good
+	bad.Intervals = 0
+	if _, err := RunLoop(bad); err == nil {
+		t.Error("zero intervals should error")
+	}
+	bad = good
+	bad.CycleProbs = nil
+	if _, err := RunLoop(bad); err == nil {
+		t.Error("missing cycle probabilities should error")
+	}
+	bad = good
+	bad.CycleProbs = []float64{0.9, 0.9}
+	if _, err := RunLoop(bad); err == nil {
+		t.Error("cycle probabilities summing over 1 should error")
+	}
+	bad = good
+	bad.CycleProbs = []float64{-0.1}
+	if _, err := RunLoop(bad); err == nil {
+		t.Error("negative cycle probability should error")
+	}
+}
+
+func TestRunLoopPerfectLinkSettles(t *testing.T) {
+	res, err := RunLoop(loopConfig(t, []float64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Errorf("perfect link lost %d messages", res.Lost)
+	}
+	if math.Abs(res.FinalOutput-1) > 0.02 {
+		t.Errorf("final output = %v, want ~1", res.FinalOutput)
+	}
+	if res.SettledAt < 0 {
+		t.Error("loop never settled on a perfect link")
+	}
+}
+
+func TestRunLoopDegradesWithLoss(t *testing.T) {
+	// ISE must grow as reachability falls (the paper's stability
+	// concern).
+	perfect, err := RunLoop(loopConfig(t, []float64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := RunLoop(loopConfig(t, []float64{0.95}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poor, err := RunLoop(loopConfig(t, []float64{0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(perfect.ISE <= good.ISE && good.ISE < poor.ISE) {
+		t.Errorf("ISE should grow with loss: %v, %v, %v", perfect.ISE, good.ISE, poor.ISE)
+	}
+	if poor.Lost == 0 {
+		t.Error("poor link should lose messages")
+	}
+}
+
+func TestRunLoopDisturbanceRejection(t *testing.T) {
+	cfg := loopConfig(t, []float64{0.99})
+	cfg.Disturbance = func(i int) float64 {
+		if i == 250 {
+			return 0.5
+		}
+		return 0
+	}
+	res, err := RunLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop must recover: final output back near setpoint.
+	if math.Abs(res.FinalOutput-1) > 0.05 {
+		t.Errorf("after disturbance, final output = %v, want ~1", res.FinalOutput)
+	}
+}
+
+func TestRunLoopDeterministic(t *testing.T) {
+	a, err := RunLoop(loopConfig(t, []float64{0.8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoop(loopConfig(t, []float64{0.8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ISE != b.ISE || a.Delivered != b.Delivered {
+		t.Error("same seed must reproduce the same loop")
+	}
+}

@@ -1,0 +1,116 @@
+// Package control closes the paper's WirelessHART control loop: a discrete
+// PID controller (the gateway-side "PID control block" of Section II) and a
+// first-order plant driven over the lossy network. It realizes the paper's
+// stated future work — feeding the computed reachability probabilities into
+// a control loop to study stability under message loss.
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PID is a discrete PID controller with output clamping and integral
+// anti-windup.
+type PID struct {
+	kp, ki, kd       float64
+	outMin, outMax   float64
+	integral         float64
+	prevErr          float64
+	primed           bool
+	integralDisabled bool
+}
+
+// NewPID returns a controller with the given gains and output limits.
+func NewPID(kp, ki, kd, outMin, outMax float64) (*PID, error) {
+	for _, g := range []float64{kp, ki, kd} {
+		if math.IsNaN(g) || math.IsInf(g, 0) || g < 0 {
+			return nil, fmt.Errorf("control: gains must be finite and non-negative, got %v/%v/%v", kp, ki, kd)
+		}
+	}
+	if outMin >= outMax {
+		return nil, fmt.Errorf("control: output limits [%v,%v] invalid", outMin, outMax)
+	}
+	return &PID{kp: kp, ki: ki, kd: kd, outMin: outMin, outMax: outMax}, nil
+}
+
+// Update advances the controller by one period of dt seconds with the
+// given tracking error (setpoint - measurement) and returns the clamped
+// actuation output.
+func (c *PID) Update(err, dt float64) (float64, error) {
+	if dt <= 0 {
+		return 0, fmt.Errorf("control: period %v must be positive", dt)
+	}
+	p := c.kp * err
+	// Tentative integral with anti-windup: only integrate if the output
+	// is not already saturated in the error's direction.
+	integral := c.integral
+	if !c.integralDisabled {
+		integral += err * dt
+	}
+	i := c.ki * integral
+	var d float64
+	if c.primed {
+		d = c.kd * (err - c.prevErr) / dt
+	}
+	raw := p + i + d
+	out := math.Max(c.outMin, math.Min(c.outMax, raw))
+	// Conditional integration anti-windup.
+	saturatedHigh := raw > c.outMax && err > 0
+	saturatedLow := raw < c.outMin && err < 0
+	if saturatedHigh || saturatedLow {
+		c.integralDisabled = true
+	} else {
+		c.integralDisabled = false
+		c.integral = integral
+	}
+	c.prevErr = err
+	c.primed = true
+	return out, nil
+}
+
+// Reset clears the controller state.
+func (c *PID) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+	c.primed = false
+	c.integralDisabled = false
+}
+
+// FirstOrderPlant is a first-order process: tau * dy/dt = -y + gain*u,
+// integrated with the exact discrete solution per step.
+type FirstOrderPlant struct {
+	gain, tau float64
+	state     float64
+}
+
+// NewFirstOrderPlant returns a plant with the given static gain and time
+// constant (seconds).
+func NewFirstOrderPlant(gain, tau float64) (*FirstOrderPlant, error) {
+	if tau <= 0 {
+		return nil, fmt.Errorf("control: time constant %v must be positive", tau)
+	}
+	if math.IsNaN(gain) || math.IsInf(gain, 0) {
+		return nil, errors.New("control: gain must be finite")
+	}
+	return &FirstOrderPlant{gain: gain, tau: tau}, nil
+}
+
+// Output returns the current plant output.
+func (p *FirstOrderPlant) Output() float64 { return p.state }
+
+// SetOutput forces the plant state (initial conditions, disturbances).
+func (p *FirstOrderPlant) SetOutput(y float64) { p.state = y }
+
+// Step advances the plant by dt seconds under constant actuation u using
+// the exact first-order response and returns the new output.
+func (p *FirstOrderPlant) Step(u, dt float64) (float64, error) {
+	if dt <= 0 {
+		return 0, fmt.Errorf("control: step %v must be positive", dt)
+	}
+	target := p.gain * u
+	alpha := math.Exp(-dt / p.tau)
+	p.state = target + (p.state-target)*alpha
+	return p.state, nil
+}

@@ -1,0 +1,359 @@
+// Package core ties the substrates together into the paper's analysis
+// pipeline: given a network topology, its uplink routes, a communication
+// schedule, per-link models and a reporting interval, it builds one
+// hierarchical path DTMC per source node and derives all quality-of-service
+// measures — the automated tool described in the paper's Section VII.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wirelesshart/internal/link"
+	"wirelesshart/internal/measures"
+	"wirelesshart/internal/pathmodel"
+	"wirelesshart/internal/schedule"
+	"wirelesshart/internal/stats"
+	"wirelesshart/internal/topology"
+)
+
+// Analyzer computes measures for a fully specified WirelessHART network.
+type Analyzer struct {
+	net       *topology.Network
+	routes    map[topology.NodeID]topology.Path
+	sched     schedule.Plan
+	is        int
+	fdown     int
+	ttl       int
+	uniform   link.Model
+	models    map[topology.LinkID]link.Model
+	overrides map[topology.LinkID]link.Availability
+	sources   []topology.NodeID
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer) error
+
+// WithReportingInterval sets Is, the reporting interval in super-frames.
+// The default is 4 (the paper's regular control).
+func WithReportingInterval(is int) Option {
+	return func(a *Analyzer) error {
+		if is < 1 {
+			return fmt.Errorf("core: reporting interval %d must be positive", is)
+		}
+		a.is = is
+		return nil
+	}
+}
+
+// WithDownlinkFrame sets Fdown, the downlink frame size in slots used for
+// delay conversion. The default is the schedule's Fup (the paper's
+// symmetric setup).
+func WithDownlinkFrame(fdown int) Option {
+	return func(a *Analyzer) error {
+		if fdown < 0 {
+			return fmt.Errorf("core: downlink frame %d must be non-negative", fdown)
+		}
+		a.fdown = fdown
+		return nil
+	}
+}
+
+// WithTTL overrides the message TTL in uplink slots (default: Is*Fup).
+func WithTTL(ttl int) Option {
+	return func(a *Analyzer) error {
+		if ttl < 0 {
+			return fmt.Errorf("core: TTL %d must be non-negative", ttl)
+		}
+		a.ttl = ttl
+		return nil
+	}
+}
+
+// WithUniformLinkModel sets the link model used for every link that has no
+// per-link override — the paper's homogeneous evaluations.
+func WithUniformLinkModel(m link.Model) Option {
+	return func(a *Analyzer) error {
+		a.uniform = m
+		return nil
+	}
+}
+
+// WithLinkModel sets the model of one specific link (inhomogeneous links).
+func WithLinkModel(id topology.LinkID, m link.Model) Option {
+	return func(a *Analyzer) error {
+		a.models[id] = m
+		return nil
+	}
+}
+
+// WithLinkAvailability overrides one link's per-slot availability entirely
+// (failure injection: DownDuring, Blocked, PermanentDown, ...).
+func WithLinkAvailability(id topology.LinkID, av link.Availability) Option {
+	return func(a *Analyzer) error {
+		if av == nil {
+			return fmt.Errorf("core: nil availability override for link %d", id)
+		}
+		a.overrides[id] = av
+		return nil
+	}
+}
+
+// WithSources restricts the analysis to the given reporting sources; the
+// remaining field devices act as pure relays and need no dedicated slots.
+// The default is every routed field device.
+func WithSources(sources ...topology.NodeID) Option {
+	return func(a *Analyzer) error {
+		if len(sources) == 0 {
+			return errors.New("core: empty source list")
+		}
+		a.sources = sources
+		return nil
+	}
+}
+
+// New validates the schedule against the network's uplink routes and
+// returns an analyzer. By default every link uses the paper's reference
+// model (BER 2e-4, p_rc 0.9, pi(up) = 0.8304); override with
+// WithUniformLinkModel or per-link options.
+func New(net *topology.Network, sched schedule.Plan, opts ...Option) (*Analyzer, error) {
+	if net == nil || sched == nil {
+		return nil, errors.New("core: network and schedule are required")
+	}
+	routes, err := net.UplinkRoutes()
+	if err != nil {
+		return nil, fmt.Errorf("core: routing failed: %w", err)
+	}
+	def, err := link.FromBER(2e-4, 1016, link.DefaultRecoveryProb)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		net:       net,
+		routes:    routes,
+		sched:     sched,
+		is:        4,
+		fdown:     -1, // resolved to Fup below unless set
+		uniform:   def,
+		models:    map[topology.LinkID]link.Model{},
+		overrides: map[topology.LinkID]link.Availability{},
+	}
+	for _, opt := range opts {
+		if err := opt(a); err != nil {
+			return nil, err
+		}
+	}
+	if a.sources == nil {
+		for src := range routes {
+			a.sources = append(a.sources, src)
+		}
+	}
+	sort.Slice(a.sources, func(i, j int) bool { return a.sources[i] < a.sources[j] })
+	if err := sched.ValidateSources(net, routes, a.sources); err != nil {
+		return nil, fmt.Errorf("core: schedule invalid: %w", err)
+	}
+	if a.fdown < 0 {
+		a.fdown = sched.Fup()
+	}
+	return a, nil
+}
+
+// LinkModel returns the model in effect for a link.
+func (a *Analyzer) LinkModel(id topology.LinkID) link.Model {
+	if m, ok := a.models[id]; ok {
+		return m
+	}
+	return a.uniform
+}
+
+// availability returns the per-slot availability in effect for a link.
+func (a *Analyzer) availability(id topology.LinkID) link.Availability {
+	if av, ok := a.overrides[id]; ok {
+		return av
+	}
+	return a.LinkModel(id).Steady()
+}
+
+// Routes returns the uplink routes keyed by source.
+func (a *Analyzer) Routes() map[topology.NodeID]topology.Path {
+	out := make(map[topology.NodeID]topology.Path, len(a.routes))
+	for k, v := range a.routes {
+		out[k] = v
+	}
+	return out
+}
+
+// Fdown returns the downlink frame size used for delay conversion.
+func (a *Analyzer) Fdown() int { return a.fdown }
+
+// Is returns the reporting interval.
+func (a *Analyzer) Is() int { return a.is }
+
+// PathAnalysis bundles the measures of one uplink path.
+type PathAnalysis struct {
+	// Source is the path's source node.
+	Source topology.NodeID
+	// Path is the routed path.
+	Path topology.Path
+	// Result is the raw DTMC solution.
+	Result *pathmodel.Result
+	// Reachability is R (Eq. 6).
+	Reachability float64
+	// ExpectedDelayMS is E[tau] (Eq. 9) in milliseconds.
+	ExpectedDelayMS float64
+	// DelayDist is the normalized delay PMF over received messages (ms).
+	DelayDist *stats.PMF
+	// UtilizationExact is the exact DTMC attempt fraction.
+	UtilizationExact float64
+	// UtilizationClosed is the corrected closed form of Eq. 10.
+	UtilizationClosed float64
+}
+
+// BuildPathModel constructs the path DTMC for one source under the
+// analyzer's configuration.
+func (a *Analyzer) BuildPathModel(source topology.NodeID) (*pathmodel.Model, error) {
+	p, ok := a.routes[source]
+	if !ok {
+		return nil, fmt.Errorf("core: no route for source %d", source)
+	}
+	slots := a.sched.SlotsForSource(source)
+	if len(slots) != p.Hops() {
+		return nil, fmt.Errorf("core: source %d has %d slots for %d hops", source, len(slots), p.Hops())
+	}
+	avails := make([]link.Availability, p.Hops())
+	for h, lid := range p.Links() {
+		avails[h] = a.availability(lid)
+	}
+	return pathmodel.Build(pathmodel.Config{
+		Slots: slots,
+		Fup:   a.sched.Fup(),
+		Is:    a.is,
+		TTL:   a.ttl,
+		Links: avails,
+	})
+}
+
+// AnalyzePath solves one source's path model and derives its measures.
+func (a *Analyzer) AnalyzePath(source topology.NodeID) (*PathAnalysis, error) {
+	m, err := a.BuildPathModel(source)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	pa := &PathAnalysis{
+		Source:            source,
+		Path:              a.routes[source],
+		Result:            res,
+		Reachability:      res.Reachability(),
+		UtilizationExact:  measures.UtilizationExact(res),
+		UtilizationClosed: measures.UtilizationClosedForm(res, false),
+	}
+	if pa.Reachability > 0 {
+		if pa.DelayDist, err = measures.DelayDistribution(res, a.fdown); err != nil {
+			return nil, err
+		}
+		pa.ExpectedDelayMS = pa.DelayDist.Mean()
+	}
+	return pa, nil
+}
+
+// NetworkAnalysis bundles the measures of a whole network.
+type NetworkAnalysis struct {
+	// Paths holds per-path analyses ordered by source node id.
+	Paths []*PathAnalysis
+	// OverallDelay is the network delay distribution Gamma (Fig. 14):
+	// the average of the unnormalized per-path distributions.
+	OverallDelay *stats.PMF
+	// OverallMeanDelayMS is E[Gamma] (Eq. 13).
+	OverallMeanDelayMS float64
+	// UtilizationExact is the exact network utilization (Eq. 11).
+	UtilizationExact float64
+	// UtilizationClosed is the corrected closed-form network utilization.
+	UtilizationClosed float64
+}
+
+// Analyze solves every reporting source's path in the network.
+func (a *Analyzer) Analyze() (*NetworkAnalysis, error) {
+	sources := a.sources
+	out := &NetworkAnalysis{}
+	var results []*pathmodel.Result
+	for _, src := range sources {
+		pa, err := a.AnalyzePath(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: path from %d: %w", src, err)
+		}
+		out.Paths = append(out.Paths, pa)
+		results = append(results, pa.Result)
+		out.UtilizationExact += pa.UtilizationExact
+		out.UtilizationClosed += pa.UtilizationClosed
+	}
+	var err error
+	if out.OverallDelay, err = measures.OverallDelay(results, a.fdown); err != nil {
+		return nil, err
+	}
+	out.OverallMeanDelayMS, err = measures.OverallMeanDelayMS(results, a.fdown)
+	if err != nil && !errors.Is(err, measures.ErrNoDelivery) {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictComposition predicts the performance of attaching a new node via
+// peerModel (a single new hop) to the existing path of `via`, per Section
+// VI-E: it solves a 1-hop model for the peer link, composes cycle
+// functions with the existing path, and reports the composed cycle
+// probabilities and reachability.
+func (a *Analyzer) PredictComposition(via topology.NodeID, peerModel link.Model) (cycles []float64, reach float64, err error) {
+	return a.PredictPeerComposition(via, []link.Model{peerModel})
+}
+
+// PredictPeerComposition generalizes PredictComposition to a multi-hop
+// peer path (paper Fig. 11): peerModels[0] is the hop leaving the new
+// node, the last entry the hop arriving at `via`. The peer path is assumed
+// to get consecutive early slots in its own frame, as the paper's peer
+// paths do.
+func (a *Analyzer) PredictPeerComposition(via topology.NodeID, peerModels []link.Model) (cycles []float64, reach float64, err error) {
+	if len(peerModels) == 0 {
+		return nil, 0, fmt.Errorf("core: peer path needs at least one hop")
+	}
+	if len(peerModels) >= a.sched.Fup() {
+		return nil, 0, fmt.Errorf("core: peer path with %d hops does not fit the %d-slot frame",
+			len(peerModels), a.sched.Fup())
+	}
+	existing, err := a.AnalyzePath(via)
+	if err != nil {
+		return nil, 0, err
+	}
+	slots := make([]int, len(peerModels))
+	avails := make([]link.Availability, len(peerModels))
+	for i, m := range peerModels {
+		slots[i] = i + 1
+		avails[i] = m.Steady()
+	}
+	peer, err := pathmodel.Build(pathmodel.Config{
+		Slots: slots,
+		Fup:   a.sched.Fup(),
+		Is:    a.is,
+		Links: avails,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	peerRes, err := peer.Solve()
+	if err != nil {
+		return nil, 0, err
+	}
+	gc, err := measures.ComposeCycles(
+		measures.CycleFunction(peerRes),
+		measures.CycleFunction(existing.Result),
+		a.is,
+	)
+	if err != nil {
+		return nil, 0, err
+	}
+	return gc, measures.CycleReachability(gc), nil
+}

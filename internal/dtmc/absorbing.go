@@ -1,0 +1,183 @@
+package dtmc
+
+import (
+	"fmt"
+
+	"wirelesshart/internal/linalg"
+)
+
+// AbsorptionResult holds the outcome of absorbing-chain analysis for a
+// time-homogeneous chain.
+type AbsorptionResult struct {
+	// Probs[a] is the probability of eventually being absorbed in
+	// absorbing state a (keyed by state id) when starting from the initial
+	// state.
+	Probs map[int]float64
+	// ExpectedSteps is the expected number of steps until absorption.
+	ExpectedSteps float64
+	// ExpectedVisits[s] is the expected number of visits to transient
+	// state s before absorption (keyed by state id).
+	ExpectedVisits map[int]float64
+}
+
+// AbsorbAnalysis performs exact absorbing-chain analysis at the transition
+// probabilities frozen at time t: it computes N = (I-Q)^-1 row for the
+// start state via a linear solve, giving absorption probabilities, expected
+// visits, and the expected time to absorption. The chain must have at least
+// one absorbing state reachable from start.
+func (c *Chain) AbsorbAnalysis(start, t int) (*AbsorptionResult, error) {
+	if start < 0 || start >= len(c.names) {
+		return nil, fmt.Errorf("dtmc: unknown start state %d", start)
+	}
+	absorbers := c.AbsorbingStates()
+	if len(absorbers) == 0 {
+		return nil, fmt.Errorf("dtmc: no absorbing states")
+	}
+	if c.absorbing[start] {
+		// Trivially absorbed where it starts.
+		res := &AbsorptionResult{
+			Probs:          map[int]float64{start: 1},
+			ExpectedVisits: map[int]float64{},
+		}
+		return res, nil
+	}
+
+	// Index the transient states.
+	transientIdx := map[int]int{}
+	var transients []int
+	for id := range c.names {
+		if !c.absorbing[id] {
+			transientIdx[id] = len(transients)
+			transients = append(transients, id)
+		}
+	}
+	nT := len(transients)
+
+	// Build (I - Q)^T ... we need the expected-visit row vector
+	// n_start = e_start (I-Q)^{-1}, i.e. solve (I-Q)^T x = e_start.
+	a := linalg.NewMatrix(nT, nT)
+	for i, id := range transients {
+		a.Set(i, i, 1)
+		for _, tr := range c.out[id] {
+			if j, ok := transientIdx[tr.To]; ok {
+				// (I-Q)^T[j][i] -= q_ij
+				a.Add(j, i, -tr.probAt(t))
+			}
+		}
+	}
+	b := linalg.NewVector(nT)
+	b[transientIdx[start]] = 1
+	visits, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("dtmc: absorption solve failed: %w", err)
+	}
+
+	res := &AbsorptionResult{
+		Probs:          map[int]float64{},
+		ExpectedVisits: map[int]float64{},
+	}
+	for i, id := range transients {
+		res.ExpectedVisits[id] = visits[i]
+		res.ExpectedSteps += visits[i]
+	}
+	// Absorption probability into a: sum over transient i of visits[i] *
+	// P(i -> a).
+	for i, id := range transients {
+		for _, tr := range c.out[id] {
+			if c.absorbing[tr.To] {
+				res.Probs[tr.To] += visits[i] * tr.probAt(t)
+			}
+		}
+	}
+	return res, nil
+}
+
+// AbsorptionTimes returns, for each absorbing state, the distribution of
+// the absorption time: out[a][t] is the probability of being absorbed in
+// state a exactly at step t (t = 0..horizon), starting from start at time
+// t0. Mass not absorbed by the horizon is reported separately.
+func (c *Chain) AbsorptionTimes(start, t0, horizon int) (times map[int][]float64, unabsorbed float64, err error) {
+	if start < 0 || start >= len(c.names) {
+		return nil, 0, fmt.Errorf("dtmc: unknown start state %d", start)
+	}
+	if horizon < 0 {
+		return nil, 0, fmt.Errorf("dtmc: negative horizon %d", horizon)
+	}
+	absorbers := c.AbsorbingStates()
+	if len(absorbers) == 0 {
+		return nil, 0, fmt.Errorf("dtmc: no absorbing states")
+	}
+	times = map[int][]float64{}
+	for _, a := range absorbers {
+		times[a] = make([]float64, horizon+1)
+	}
+	p, err := c.InitialDistribution(start)
+	if err != nil {
+		return nil, 0, err
+	}
+	prev := map[int]float64{}
+	record := func(t int, dist linalg.Vector) {
+		for _, a := range absorbers {
+			times[a][t] = dist[a] - prev[a]
+			prev[a] = dist[a]
+		}
+	}
+	record(0, p)
+	for t := 0; t < horizon; t++ {
+		if p, err = c.StepAt(p, t0+t); err != nil {
+			return nil, 0, err
+		}
+		record(t+1, p)
+	}
+	unabsorbed = 1
+	for _, a := range absorbers {
+		unabsorbed -= p[a]
+	}
+	return times, unabsorbed, nil
+}
+
+// Stationary returns the stationary distribution of an irreducible chain
+// with transition probabilities frozen at time t, via GTH elimination.
+func (c *Chain) Stationary(t int) (linalg.Vector, error) {
+	for id := range c.names {
+		if c.absorbing[id] {
+			return nil, fmt.Errorf("dtmc: chain with absorbing state %q has no unique stationary distribution over all states", c.names[id])
+		}
+	}
+	return linalg.StationaryGTH(c.Matrix(t))
+}
+
+// MixingTime returns the smallest number of steps after which the
+// transient distribution from the given start state stays within eps (in
+// max-norm) of the stationary distribution, probing up to maxSteps. It
+// quantifies the paper's Fig. 17 observation that links "return to their
+// steady-state almost immediately".
+func (c *Chain) MixingTime(start int, eps float64, maxSteps int) (int, error) {
+	if eps <= 0 {
+		return 0, fmt.Errorf("dtmc: eps %v must be positive", eps)
+	}
+	if maxSteps < 0 {
+		return 0, fmt.Errorf("dtmc: negative maxSteps %d", maxSteps)
+	}
+	pi, err := c.Stationary(0)
+	if err != nil {
+		return 0, err
+	}
+	p, err := c.InitialDistribution(start)
+	if err != nil {
+		return 0, err
+	}
+	for t := 0; t <= maxSteps; t++ {
+		d, err := p.MaxAbsDiff(pi)
+		if err != nil {
+			return 0, err
+		}
+		if d <= eps {
+			return t, nil
+		}
+		if p, err = c.StepAt(p, t); err != nil {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("dtmc: not mixed within %d steps", maxSteps)
+}

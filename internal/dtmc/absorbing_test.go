@@ -1,0 +1,203 @@
+package dtmc
+
+import (
+	"math"
+	"testing"
+)
+
+// buildGamblersRuin builds a chain 0..n where state k moves to k+1 with p
+// and k-1 with 1-p; 0 and n absorb.
+func buildGamblersRuin(t *testing.T, n int, p float64) (*Chain, []int) {
+	t.Helper()
+	c := New()
+	ids := make([]int, n+1)
+	for k := 0; k <= n; k++ {
+		ids[k] = c.MustAddState("k" + string(rune('0'+k)))
+	}
+	if err := c.MarkAbsorbing(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkAbsorbing(ids[n]); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < n; k++ {
+		if err := c.AddTransition(ids[k], ids[k+1], p); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddTransition(ids[k], ids[k-1], 1-p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	return c, ids
+}
+
+func TestAbsorbFairGamblersRuin(t *testing.T) {
+	// Fair coin, start in the middle of 0..4: win probability 1/2,
+	// expected duration k(n-k) = 4.
+	c, ids := buildGamblersRuin(t, 4, 0.5)
+	res, err := c.AbsorbAnalysis(ids[2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Probs[ids[4]]-0.5) > 1e-12 {
+		t.Errorf("P(win) = %v, want 0.5", res.Probs[ids[4]])
+	}
+	if math.Abs(res.Probs[ids[0]]-0.5) > 1e-12 {
+		t.Errorf("P(ruin) = %v, want 0.5", res.Probs[ids[0]])
+	}
+	if math.Abs(res.ExpectedSteps-4) > 1e-12 {
+		t.Errorf("E[steps] = %v, want 4", res.ExpectedSteps)
+	}
+}
+
+func TestAbsorbBiasedGamblersRuin(t *testing.T) {
+	// Biased ruin: P(reach n from k) = (1-r^k)/(1-r^n), r = q/p.
+	p := 0.6
+	c, ids := buildGamblersRuin(t, 5, p)
+	res, err := c.AbsorbAnalysis(ids[2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := (1 - p) / p
+	want := (1 - math.Pow(r, 2)) / (1 - math.Pow(r, 5))
+	if math.Abs(res.Probs[ids[5]]-want) > 1e-12 {
+		t.Errorf("P(win) = %v, want %v", res.Probs[ids[5]], want)
+	}
+	// Absorption probabilities must sum to one.
+	var total float64
+	for _, q := range res.Probs {
+		total += q
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("absorption probabilities sum to %v", total)
+	}
+}
+
+func TestAbsorbRetryChannel(t *testing.T) {
+	// A transmit/retry loop: attempt succeeds with ps, else retry. The
+	// expected number of attempts is 1/ps.
+	ps := 0.75
+	c := New()
+	try := c.MustAddState("try")
+	done := c.MustAddState("done")
+	if err := c.AddTransition(try, done, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTransition(try, try, 1-ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkAbsorbing(done); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.AbsorbAnalysis(try, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ExpectedVisits[try]-1/ps) > 1e-12 {
+		t.Errorf("E[visits to try] = %v, want %v", res.ExpectedVisits[try], 1/ps)
+	}
+	if math.Abs(res.Probs[done]-1) > 1e-12 {
+		t.Errorf("P(done) = %v, want 1", res.Probs[done])
+	}
+}
+
+func TestAbsorbStartAtAbsorbing(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	g := c.MustAddState("g")
+	_ = c.AddTransition(a, g, 1)
+	_ = c.MarkAbsorbing(g)
+	res, err := c.AbsorbAnalysis(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probs[g] != 1 || res.ExpectedSteps != 0 {
+		t.Errorf("start-at-absorbing: %+v", res)
+	}
+}
+
+func TestAbsorbErrors(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	_ = c.AddTransition(a, a, 1)
+	if _, err := c.AbsorbAnalysis(a, 0); err == nil {
+		t.Error("chain with no absorbing states should error")
+	}
+	if _, err := c.AbsorbAnalysis(99, 0); err == nil {
+		t.Error("unknown start should error")
+	}
+}
+
+func TestAbsorptionTimesRetryChannel(t *testing.T) {
+	// try -> done with ps per step: absorption time is geometric.
+	ps := 0.75
+	c := New()
+	try := c.MustAddState("try")
+	done := c.MustAddState("done")
+	if err := c.AddTransition(try, done, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTransition(try, try, 1-ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkAbsorbing(done); err != nil {
+		t.Fatal(err)
+	}
+	times, unabsorbed, err := c.AbsorptionTimes(try, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 10; k++ {
+		want := math.Pow(1-ps, float64(k-1)) * ps
+		if math.Abs(times[done][k]-want) > 1e-12 {
+			t.Errorf("P(absorb at %d) = %v, want %v", k, times[done][k], want)
+		}
+	}
+	if times[done][0] != 0 {
+		t.Error("cannot absorb at time 0 from a transient start")
+	}
+	wantTail := math.Pow(1-ps, 10)
+	if math.Abs(unabsorbed-wantTail) > 1e-12 {
+		t.Errorf("unabsorbed = %v, want %v", unabsorbed, wantTail)
+	}
+}
+
+func TestAbsorptionTimesErrors(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	_ = c.AddTransition(a, a, 1)
+	if _, _, err := c.AbsorptionTimes(a, 0, 5); err == nil {
+		t.Error("no absorbing states should error")
+	}
+	g := c.MustAddState("g")
+	_ = c.MarkAbsorbing(g)
+	if _, _, err := c.AbsorptionTimes(99, 0, 5); err == nil {
+		t.Error("unknown start should error")
+	}
+	if _, _, err := c.AbsorptionTimes(a, 0, -1); err == nil {
+		t.Error("negative horizon should error")
+	}
+}
+
+func TestAbsorbMatchesTransientLimit(t *testing.T) {
+	// The exact absorption probabilities must agree with a long transient
+	// run of the same chain.
+	c, ids := buildGamblersRuin(t, 6, 0.55)
+	res, err := c.AbsorbAnalysis(ids[3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := c.InitialDistribution(ids[3])
+	pT, err := c.TransientAt(p0, 0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int{ids[0], ids[6]} {
+		if math.Abs(pT[a]-res.Probs[a]) > 1e-9 {
+			t.Errorf("state %d: transient %v vs exact %v", a, pT[a], res.Probs[a])
+		}
+	}
+}

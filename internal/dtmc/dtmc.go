@@ -1,0 +1,268 @@
+// Package dtmc implements the discrete-time Markov chain engine underlying
+// the WirelessHART path model: labeled states, sparse transitions whose
+// probabilities may vary with the global slot number (time-inhomogeneous
+// chains, paper Eq. 5), transient analysis, absorption analysis via the
+// fundamental matrix, stationary distributions, and DOT export.
+package dtmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wirelesshart/internal/linalg"
+)
+
+// ProbFn returns a transition probability for the step taken from time t to
+// t+1 (t starts at 0). It is the hook that lets link models drive the path
+// model with transient (not yet steady-state) availabilities.
+type ProbFn func(t int) float64
+
+// Transition is one outgoing edge of a state. Either Prob is used (Fn nil)
+// or Fn is consulted per step.
+type Transition struct {
+	To   int
+	Prob float64
+	Fn   ProbFn
+}
+
+func (tr Transition) probAt(t int) float64 {
+	if tr.Fn != nil {
+		return tr.Fn(t)
+	}
+	return tr.Prob
+}
+
+// Chain is a labeled DTMC under construction or analysis. Create one with
+// New, add states and transitions, then call Validate before analysis.
+type Chain struct {
+	names     []string
+	index     map[string]int
+	out       [][]Transition
+	absorbing []bool
+}
+
+// New returns an empty chain.
+func New() *Chain {
+	return &Chain{index: map[string]int{}}
+}
+
+// AddState adds a state with a unique name and returns its id.
+func (c *Chain) AddState(name string) (int, error) {
+	if _, ok := c.index[name]; ok {
+		return 0, fmt.Errorf("dtmc: duplicate state %q", name)
+	}
+	id := len(c.names)
+	c.names = append(c.names, name)
+	c.index[name] = id
+	c.out = append(c.out, nil)
+	c.absorbing = append(c.absorbing, false)
+	return id, nil
+}
+
+// MustAddState is AddState for construction code with programmatically
+// unique names; it panics on duplicates.
+func (c *Chain) MustAddState(name string) int {
+	id, err := c.AddState(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumStates returns the number of states.
+func (c *Chain) NumStates() int { return len(c.names) }
+
+// Name returns the name of state id.
+func (c *Chain) Name(id int) string { return c.names[id] }
+
+// StateID looks up a state by name.
+func (c *Chain) StateID(name string) (int, bool) {
+	id, ok := c.index[name]
+	return id, ok
+}
+
+// AddTransition adds an edge with a fixed probability.
+func (c *Chain) AddTransition(from, to int, p float64) error {
+	return c.addTransition(from, Transition{To: to, Prob: p})
+}
+
+// AddTransitionFn adds an edge whose probability is evaluated per step.
+func (c *Chain) AddTransitionFn(from, to int, fn ProbFn) error {
+	if fn == nil {
+		return errors.New("dtmc: nil probability function")
+	}
+	return c.addTransition(from, Transition{To: to, Fn: fn})
+}
+
+func (c *Chain) addTransition(from int, tr Transition) error {
+	if from < 0 || from >= len(c.names) {
+		return fmt.Errorf("dtmc: transition from unknown state %d", from)
+	}
+	if tr.To < 0 || tr.To >= len(c.names) {
+		return fmt.Errorf("dtmc: transition to unknown state %d", tr.To)
+	}
+	if c.absorbing[from] {
+		return fmt.Errorf("dtmc: state %q is absorbing, cannot add outgoing transition", c.names[from])
+	}
+	if tr.Fn == nil && (tr.Prob < 0 || tr.Prob > 1 || math.IsNaN(tr.Prob)) {
+		return fmt.Errorf("dtmc: probability %v out of [0,1]", tr.Prob)
+	}
+	c.out[from] = append(c.out[from], tr)
+	return nil
+}
+
+// MarkAbsorbing declares a state absorbing: it keeps all probability mass.
+// A state with outgoing transitions cannot be marked absorbing.
+func (c *Chain) MarkAbsorbing(id int) error {
+	if id < 0 || id >= len(c.names) {
+		return fmt.Errorf("dtmc: unknown state %d", id)
+	}
+	if len(c.out[id]) > 0 {
+		return fmt.Errorf("dtmc: state %q has outgoing transitions, cannot absorb", c.names[id])
+	}
+	c.absorbing[id] = true
+	return nil
+}
+
+// IsAbsorbing reports whether state id is absorbing.
+func (c *Chain) IsAbsorbing(id int) bool { return c.absorbing[id] }
+
+// AbsorbingStates returns the ids of all absorbing states in order.
+func (c *Chain) AbsorbingStates() []int {
+	var out []int
+	for id, a := range c.absorbing {
+		if a {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Transitions returns a copy of the outgoing transitions of state id.
+func (c *Chain) Transitions(id int) []Transition {
+	out := make([]Transition, len(c.out[id]))
+	copy(out, c.out[id])
+	return out
+}
+
+// Validate checks that every non-absorbing state's fixed outgoing
+// probabilities sum to one at time 0 within tol, and that every state is
+// either absorbing or has outgoing transitions. Chains with ProbFn edges
+// are validated at t = 0; StepAt re-checks rows lazily during analysis.
+func (c *Chain) Validate(tol float64) error {
+	if len(c.names) == 0 {
+		return errors.New("dtmc: empty chain")
+	}
+	for id := range c.names {
+		if c.absorbing[id] {
+			continue
+		}
+		if len(c.out[id]) == 0 {
+			return fmt.Errorf("dtmc: state %q has no outgoing transitions and is not absorbing", c.names[id])
+		}
+		if err := c.checkRow(id, 0, tol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Chain) checkRow(id, t int, tol float64) error {
+	var sum float64
+	for _, tr := range c.out[id] {
+		p := tr.probAt(t)
+		if p < -tol || p > 1+tol || math.IsNaN(p) {
+			return fmt.Errorf("dtmc: state %q transition probability %v out of [0,1] at t=%d", c.names[id], p, t)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("dtmc: state %q outgoing probabilities sum to %v at t=%d", c.names[id], sum, t)
+	}
+	return nil
+}
+
+// InitialDistribution returns a distribution concentrated on state id.
+func (c *Chain) InitialDistribution(id int) (linalg.Vector, error) {
+	if id < 0 || id >= len(c.names) {
+		return nil, fmt.Errorf("dtmc: unknown state %d", id)
+	}
+	p := linalg.NewVector(len(c.names))
+	p[id] = 1
+	return p, nil
+}
+
+// StepAt advances the distribution one slot, using per-step probabilities
+// evaluated at time t: p(t+1) = p(t) P(t).
+func (c *Chain) StepAt(p linalg.Vector, t int) (linalg.Vector, error) {
+	if len(p) != len(c.names) {
+		return nil, fmt.Errorf("dtmc: distribution length %d, want %d", len(p), len(c.names))
+	}
+	out := linalg.NewVector(len(c.names))
+	for id, mass := range p {
+		if mass == 0 {
+			continue
+		}
+		if c.absorbing[id] {
+			out[id] += mass
+			continue
+		}
+		for _, tr := range c.out[id] {
+			out[tr.To] += mass * tr.probAt(t)
+		}
+	}
+	return out, nil
+}
+
+// TransientAt returns the distribution after steps slots starting from p0
+// at time t0.
+func (c *Chain) TransientAt(p0 linalg.Vector, t0, steps int) (linalg.Vector, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("dtmc: negative step count %d", steps)
+	}
+	p := p0.Clone()
+	for s := 0; s < steps; s++ {
+		var err error
+		if p, err = c.StepAt(p, t0+s); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// TransientTrajectory returns the distributions p(0..steps) (inclusive,
+// steps+1 vectors) starting from p0 at time t0.
+func (c *Chain) TransientTrajectory(p0 linalg.Vector, t0, steps int) ([]linalg.Vector, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("dtmc: negative step count %d", steps)
+	}
+	out := make([]linalg.Vector, 0, steps+1)
+	p := p0.Clone()
+	out = append(out, p.Clone())
+	for s := 0; s < steps; s++ {
+		var err error
+		if p, err = c.StepAt(p, t0+s); err != nil {
+			return nil, err
+		}
+		out = append(out, p.Clone())
+	}
+	return out, nil
+}
+
+// Matrix materializes the one-step transition matrix at time t (absorbing
+// states get a self-loop).
+func (c *Chain) Matrix(t int) *linalg.Matrix {
+	n := len(c.names)
+	m := linalg.NewMatrix(n, n)
+	for id := range c.names {
+		if c.absorbing[id] {
+			m.Set(id, id, 1)
+			continue
+		}
+		for _, tr := range c.out[id] {
+			m.Add(id, tr.To, tr.probAt(t))
+		}
+	}
+	return m
+}

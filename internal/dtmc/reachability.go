@@ -1,0 +1,52 @@
+package dtmc
+
+import (
+	"fmt"
+)
+
+// BoundedReachability computes the probabilistic bounded-until measure
+// P(reach any state in goals within k steps | start), the PCTL operator
+// P[F<=k goals] that underlies the path model's reachability: goal states
+// are made absorbing for the computation (mass entering them stays), so
+// the result is the probability of *ever having visited* a goal by step k.
+// Transition probabilities are evaluated from time t0.
+func (c *Chain) BoundedReachability(start int, goals []int, t0, k int) (float64, error) {
+	if start < 0 || start >= len(c.names) {
+		return 0, fmt.Errorf("dtmc: unknown start state %d", start)
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("dtmc: negative step bound %d", k)
+	}
+	if len(goals) == 0 {
+		return 0, fmt.Errorf("dtmc: empty goal set")
+	}
+	goalSet := map[int]bool{}
+	for _, g := range goals {
+		if g < 0 || g >= len(c.names) {
+			return 0, fmt.Errorf("dtmc: unknown goal state %d", g)
+		}
+		goalSet[g] = true
+	}
+	if goalSet[start] {
+		return 1, nil
+	}
+	p, err := c.InitialDistribution(start)
+	if err != nil {
+		return 0, err
+	}
+	var reached float64
+	absorb := func() {
+		for g := range goalSet {
+			reached += p[g]
+			p[g] = 0
+		}
+	}
+	absorb()
+	for step := 0; step < k; step++ {
+		if p, err = c.StepAt(p, t0+step); err != nil {
+			return 0, err
+		}
+		absorb()
+	}
+	return reached, nil
+}

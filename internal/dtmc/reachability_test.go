@@ -1,0 +1,106 @@
+package dtmc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundedReachabilityRetry(t *testing.T) {
+	// try -> done with ps: P(F<=k done) = 1-(1-ps)^k.
+	ps := 0.75
+	c := New()
+	try := c.MustAddState("try")
+	done := c.MustAddState("done")
+	if err := c.AddTransition(try, done, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTransition(try, try, 1-ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkAbsorbing(done); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 6; k++ {
+		got, err := c.BoundedReachability(try, []int{done}, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Pow(1-ps, float64(k))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("k=%d: P = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestBoundedReachabilityVisitNotStay(t *testing.T) {
+	// A goal the chain passes through: visiting counts even if it moves
+	// on afterwards.
+	c := New()
+	a := c.MustAddState("a")
+	mid := c.MustAddState("mid")
+	end := c.MustAddState("end")
+	if err := c.AddTransition(a, mid, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTransition(mid, end, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkAbsorbing(end); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.BoundedReachability(a, []int{mid}, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("P(visit mid) = %v, want 1", got)
+	}
+}
+
+func TestBoundedReachabilityStartIsGoal(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	_ = c.AddTransition(a, a, 1)
+	got, err := c.BoundedReachability(a, []int{a}, 0, 0)
+	if err != nil || got != 1 {
+		t.Errorf("start-in-goal = %v, %v, want 1", got, err)
+	}
+}
+
+func TestBoundedReachabilityMatchesPathReachability(t *testing.T) {
+	// On a two-state link chain: P(F<=k UP | start DOWN) with prc = 0.9
+	// is 1-(1-prc)^k.
+	c := New()
+	up := c.MustAddState("UP")
+	down := c.MustAddState("DOWN")
+	_ = c.AddTransition(up, up, 0.9)
+	_ = c.AddTransition(up, down, 0.1)
+	_ = c.AddTransition(down, up, 0.9)
+	_ = c.AddTransition(down, down, 0.1)
+	got, err := c.BoundedReachability(down, []int{up}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(0.1, 3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P = %v, want %v", got, want)
+	}
+}
+
+func TestBoundedReachabilityErrors(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	_ = c.AddTransition(a, a, 1)
+	if _, err := c.BoundedReachability(99, []int{a}, 0, 1); err == nil {
+		t.Error("unknown start should error")
+	}
+	if _, err := c.BoundedReachability(a, []int{99}, 0, 1); err == nil {
+		t.Error("unknown goal should error")
+	}
+	if _, err := c.BoundedReachability(a, nil, 0, 1); err == nil {
+		t.Error("empty goal set should error")
+	}
+	if _, err := c.BoundedReachability(a, []int{a}, 0, -1); err == nil {
+		t.Error("negative bound should error")
+	}
+}

@@ -1,0 +1,634 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "tab1", "fig10",
+		"fig12", "fig13", "fig14", "fig15", "tab2", "fig16", "fig17",
+		"tab3", "fig18", "fig19", "tab4", "xval", "ctrl", "opt", "hop",
+		"plant", "mchan", "inhomo", "rtrip", "ttl", "sens",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("registry[%d] = %q, want %q", i, all[i].ID, id)
+		}
+		e, ok := ByID(id)
+		if !ok || e.ID != id {
+			t.Errorf("ByID(%q) failed", id)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID of unknown id should report false")
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	// Every experiment must run to completion and produce output. The
+	// slow ones (xval, ctrl) are exercised with their default settings;
+	// this is the end-to-end smoke test of the whole harness.
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var b strings.Builder
+			if err := e.Run(&b); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if b.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestComputeFig4StateSpace(t *testing.T) {
+	d, err := ComputeFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.GoalAges) != 1 || d.GoalAges[0] != 7 {
+		t.Errorf("goal ages = %v, want [7]", d.GoalAges)
+	}
+	if !strings.Contains(d.DOT, "R7") || !strings.Contains(d.DOT, "Discard") {
+		t.Error("DOT output missing goal/discard states")
+	}
+	d5, err := ComputeFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d5.GoalAges) != 2 || d5.GoalAges[1] != 14 {
+		t.Errorf("Is=2 goal ages = %v, want [7 14]", d5.GoalAges)
+	}
+	if d5.NumStates <= d.NumStates {
+		t.Error("Is=2 model should be larger than Is=1")
+	}
+}
+
+func TestComputeFig6Values(t *testing.T) {
+	d, err := ComputeFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.4219, 0.3164, 0.1582, 0.06592}
+	for i, w := range want {
+		if math.Abs(d.Final[i]-w) > 5e-5 {
+			t.Errorf("final[%d] = %v, want %v", i, d.Final[i], w)
+		}
+	}
+	if math.Abs(d.Reachability-0.9624) > 5e-5 {
+		t.Errorf("R = %v, want 0.9624", d.Reachability)
+	}
+}
+
+func TestComputeFig7Values(t *testing.T) {
+	d, err := ComputeFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.ExpectedDelay-190.8) > 0.1 {
+		t.Errorf("E[tau] = %v, want 190.8", d.ExpectedDelay)
+	}
+	wantDelays := []float64{70, 210, 350, 490}
+	for i, w := range wantDelays {
+		if d.DelayMS[i] != w {
+			t.Errorf("delay[%d] = %v, want %v", i, d.DelayMS[i], w)
+		}
+	}
+}
+
+func TestComputeFig8Monotone(t *testing.T) {
+	rows, err := ComputeFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Reachability <= rows[i-1].Reachability {
+			t.Error("reachability must increase with availability")
+		}
+	}
+	// Anchor: the 0.948 row.
+	last := rows[len(rows)-1]
+	if math.Abs(last.Reachability-0.9999) > 5e-4 {
+		t.Errorf("R at 0.948 = %v, want ~0.9999", last.Reachability)
+	}
+}
+
+func TestComputeFig10Anchors(t *testing.T) {
+	rows, err := ComputeFig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if math.Abs(rows[0].Reachability-0.9992) > 2e-4 {
+		t.Errorf("1 hop R = %v, want 0.9992", rows[0].Reachability)
+	}
+	if math.Abs(rows[3].Reachability-0.9812) > 2e-4 {
+		t.Errorf("4 hops R = %v, want 0.9812", rows[3].Reachability)
+	}
+}
+
+func TestComputeFig13Shape(t *testing.T) {
+	rows, err := ComputeFig13(Fig13Avails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		// Reachability decreases as availability decreases (columns are
+		// ordered best to worst).
+		for c := 1; c < len(r.ReachByAvail); c++ {
+			if r.ReachByAvail[c] >= r.ReachByAvail[c-1] {
+				t.Errorf("path %d: reachability should fall with availability", r.PathNumber)
+			}
+		}
+	}
+	// 3-hop paths are always the worst within a column.
+	for c := range Fig13Avails {
+		worst := 1.0
+		worstHops := 0
+		for _, r := range rows {
+			if r.ReachByAvail[c] < worst {
+				worst = r.ReachByAvail[c]
+				worstHops = r.Hops
+			}
+		}
+		if worstHops != 3 {
+			t.Errorf("column %d: bottleneck has %d hops, want 3", c, worstHops)
+		}
+	}
+}
+
+func TestComputeFig14Anchors(t *testing.T) {
+	d, err := ComputeFig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Cum200-0.708) > 5e-3 {
+		t.Errorf("cycle-1 fraction = %v, want ~0.708", d.Cum200)
+	}
+	if math.Abs(d.Cum600-0.926) > 5e-3 {
+		t.Errorf("within 600ms = %v, want ~0.926", d.Cum600)
+	}
+	if math.Abs(d.Cum1000-0.983) > 5e-3 {
+		t.Errorf("within 1000ms = %v, want ~0.983", d.Cum1000)
+	}
+	if math.Abs(d.MeanMS-235) > 1.5 {
+		t.Errorf("E[Gamma] = %v, want ~235", d.MeanMS)
+	}
+}
+
+func TestComputeFig15And16Anchors(t *testing.T) {
+	rowsA, meanA, err := ComputeFig15(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rowsA[9].ExpectedMS-421.4) > 1 {
+		t.Errorf("eta_a path 10 = %v, want 421.4", rowsA[9].ExpectedMS)
+	}
+	if math.Abs(meanA-235) > 1.5 {
+		t.Errorf("eta_a mean = %v, want 235", meanA)
+	}
+	rowsB, meanB, err := ComputeFig15(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rowsB[9].ExpectedMS-291) > 1 {
+		t.Errorf("eta_b path 10 = %v, want ~291", rowsB[9].ExpectedMS)
+	}
+	if math.Abs(rowsB[6].ExpectedMS-317.95) > 1 {
+		t.Errorf("eta_b path 7 = %v, want ~317.95", rowsB[6].ExpectedMS)
+	}
+	if math.Abs(meanB-272) > 1.5 {
+		t.Errorf("eta_b mean = %v, want ~272", meanB)
+	}
+}
+
+func TestComputeTab2Shape(t *testing.T) {
+	rows, err := ComputeTab2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Exact >= rows[i-1].Exact {
+			t.Error("exact utilization must decrease with availability")
+		}
+	}
+	// Near-perfect links approach 19/80.
+	if math.Abs(rows[len(rows)-1].Exact-0.2375) > 0.005 {
+		t.Errorf("utilization at 0.989 = %v, want ~0.2375", rows[len(rows)-1].Exact)
+	}
+	// The literal Eq. 10 always overshoots the corrected form.
+	for _, r := range rows {
+		if r.LiteralEq10 <= r.ClosedForm {
+			t.Error("literal Eq. 10 should exceed the corrected form")
+		}
+	}
+}
+
+func TestComputeTab3Anchors(t *testing.T) {
+	rows, err := ComputeTab3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (paths 3,7,8,10)", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.WithoutFailure*100-r.PaperWithoutPct) > 0.03 {
+			t.Errorf("path %d without failure: %v%%, paper %v%%",
+				r.PathNumber, r.WithoutFailure*100, r.PaperWithoutPct)
+		}
+		if math.Abs(r.BlockedCycle*100-r.PaperWithFailurePct) > 0.03 {
+			t.Errorf("path %d blocked-cycle: %v%%, paper %v%%",
+				r.PathNumber, r.BlockedCycle*100, r.PaperWithFailurePct)
+		}
+		// Exact injection lets multi-hop paths progress on their early
+		// hops during the failure, so it beats blocked-cycle there; for
+		// the 1-hop path 3 both coincide up to the post-window
+		// relaxation of e3 (a <0.1% dip below steady).
+		if r.Hops > 1 && r.ExactInjection <= r.BlockedCycle {
+			t.Errorf("path %d: exact injection %v should beat blocked-cycle %v",
+				r.PathNumber, r.ExactInjection, r.BlockedCycle)
+		}
+		// Exact injection never beats the no-failure baseline.
+		if r.ExactInjection > r.WithoutFailure+1e-9 {
+			t.Errorf("path %d: exact injection %v exceeds no-failure %v",
+				r.PathNumber, r.ExactInjection, r.WithoutFailure)
+		}
+	}
+}
+
+func TestComputeFig18Anchors(t *testing.T) {
+	rows, err := ComputeFig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.903, 0.9906, 0.99909}
+	for i, r := range rows {
+		if math.Abs(r.Reachability-want[i]) > 1e-3 {
+			t.Errorf("Is=%d: R = %v, want ~%v", r.Is, r.Reachability, want[i])
+		}
+	}
+}
+
+func TestComputeFig19Shape(t *testing.T) {
+	rows, err := ComputeFig19([]float64{0.83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReachFast > r.ReachRegular {
+			t.Errorf("path %d: fast control should not beat regular", r.PathNumber)
+		}
+	}
+}
+
+func TestComputeTab4Anchors(t *testing.T) {
+	d, err := ComputeTab4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.ReachAlpha-0.9946) > 5e-4 {
+		t.Errorf("R_alpha = %v, want 0.9946", d.ReachAlpha)
+	}
+	if math.Abs(d.ReachBeta-0.9945) > 5e-4 {
+		t.Errorf("R_beta = %v, want 0.9945", d.ReachBeta)
+	}
+}
+
+func TestComputeXValAgreement(t *testing.T) {
+	rows, err := ComputeXVal(4000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		tol := math.Max(4*r.SimReachCI, 0.005)
+		if math.Abs(r.AnalyticReach-r.SimReach) > tol {
+			t.Errorf("path %d: analytic %v vs simulated %v (tol %v)",
+				r.PathNumber, r.AnalyticReach, r.SimReach, tol)
+		}
+		delayTol := math.Max(4*r.SimDelayCI, 2)
+		if math.Abs(r.AnalyticDelay-r.SimDelay) > delayTol {
+			t.Errorf("path %d: delay analytic %v vs simulated %v (tol %v)",
+				r.PathNumber, r.AnalyticDelay, r.SimDelay, delayTol)
+		}
+	}
+}
+
+func TestComputeCtrlDegradesWithAvailability(t *testing.T) {
+	rows, err := ComputeCtrl(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PaperAvailabilities) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Worst availability must have strictly higher ISE than the best.
+	if rows[0].ISE <= rows[len(rows)-1].ISE {
+		t.Errorf("ISE at 0.693 (%v) should exceed ISE at 0.948 (%v)",
+			rows[0].ISE, rows[len(rows)-1].ISE)
+	}
+}
+
+func TestComputeOptBeatsManualSchedules(t *testing.T) {
+	d, err := ComputeOpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OptimizedBottleneck > d.EtaBBottleneck+1e-9 {
+		t.Errorf("optimizer bottleneck %v worse than eta_b's %v",
+			d.OptimizedBottleneck, d.EtaBBottleneck)
+	}
+	if d.OptimizedBottleneck >= d.EtaABottleneck {
+		t.Errorf("optimizer bottleneck %v should beat eta_a's %v",
+			d.OptimizedBottleneck, d.EtaABottleneck)
+	}
+	if d.Evaluations < 2 {
+		t.Error("optimizer did not search")
+	}
+}
+
+func TestComputeHopAbstractionHolds(t *testing.T) {
+	d, err := ComputeHop(15000, 303)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gilbert DES agrees with the analytic DTMC.
+	if math.Abs(d.GilbertReach-d.AnalyticReach) > 0.01 {
+		t.Errorf("Gilbert DES %v vs analytic %v", d.GilbertReach, d.AnalyticReach)
+	}
+	// Hopping over heterogeneous channels, with the Gilbert model
+	// calibrated to the same marginal availability, matches the
+	// abstraction (retries are a frame apart, so link-state memory is
+	// irrelevant).
+	if math.Abs(d.HoppingReach-d.AnalyticReach) > 0.01 {
+		t.Errorf("hopping %v vs analytic %v", d.HoppingReach, d.AnalyticReach)
+	}
+	// Blacklisting the poor channels improves delivery further.
+	if d.HoppingBlacklistedReach <= d.HoppingReach {
+		t.Errorf("blacklisting should help: %v vs %v",
+			d.HoppingBlacklistedReach, d.HoppingReach)
+	}
+	if d.HoppingBlacklistedReach < 0.999 {
+		t.Errorf("good-channels-only delivery %v should be near 1", d.HoppingBlacklistedReach)
+	}
+}
+
+func TestComputePlantRepresentative(t *testing.T) {
+	d, err := ComputePlant(20, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanDelay.N() != 20 {
+		t.Fatalf("draws = %d, want 20", d.MeanDelay.N())
+	}
+	// Every draw keeps its worst path above 0.99 at the default quality.
+	if d.WorstPathReach.Min() < 0.99 {
+		t.Errorf("worst-path reachability min = %v, want >= 0.99", d.WorstPathReach.Min())
+	}
+	// The typical network's E[Gamma] = 235 ms lies within the observed
+	// range of topology draws.
+	if d.MeanDelay.Min() > 235.5 || d.MeanDelay.Max() < 234 {
+		t.Errorf("E[Gamma] range [%v, %v] should bracket ~235",
+			d.MeanDelay.Min(), d.MeanDelay.Max())
+	}
+}
+
+func TestComputeMultiChannelShrinksDelays(t *testing.T) {
+	rows, err := ComputeMultiChannel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Single channel reproduces the eta_a numbers (19 transmissions + 1
+	// idle -> Fup 20, E[Gamma] ~235).
+	if rows[0].Fup != 20 {
+		t.Errorf("1-channel Fup = %d, want 20", rows[0].Fup)
+	}
+	if math.Abs(rows[0].MeanDelay-235.4) > 1 {
+		t.Errorf("1-channel E[Gamma] = %v, want ~235.4", rows[0].MeanDelay)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Fup > rows[i-1].Fup {
+			t.Errorf("frame grew with more channels: %v", rows)
+		}
+		if rows[i].MeanDelay > rows[i-1].MeanDelay+1e-9 {
+			t.Errorf("mean delay should not grow with channels: %v vs %v",
+				rows[i].MeanDelay, rows[i-1].MeanDelay)
+		}
+	}
+	// Two channels must strictly improve over one; beyond that the
+	// gateway (the common receiver) saturates the schedule.
+	if rows[1].MeanDelay >= rows[0].MeanDelay {
+		t.Errorf("2 channels should beat 1: %v vs %v", rows[1].MeanDelay, rows[0].MeanDelay)
+	}
+	// Reachability is schedule-independent (same attempts per interval).
+	for _, r := range rows {
+		if math.Abs(r.WorstReach-rows[0].WorstReach) > 1e-9 {
+			t.Errorf("reachability changed with channels: %v vs %v",
+				r.WorstReach, rows[0].WorstReach)
+		}
+	}
+}
+
+func TestComputeInhomoApproximationError(t *testing.T) {
+	rows, err := ComputeInhomo(515151)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	// The approximation must err somewhere (heterogeneity matters)...
+	var worst float64
+	for _, r := range rows {
+		if e := math.Abs(r.Error); e > worst {
+			worst = e
+		}
+		if r.TrueReach <= 0 || r.TrueReach > 1 || r.HomogReach <= 0 || r.HomogReach > 1 {
+			t.Errorf("path %d: reachabilities out of range: %+v", r.PathNumber, r)
+		}
+	}
+	if worst < 1e-3 {
+		t.Errorf("largest approximation error %v suspiciously small for two decades of BER spread", worst)
+	}
+	// Delay misjudgment is the bigger effect: tens of milliseconds.
+	var worstDelay float64
+	for _, r := range rows {
+		if e := math.Abs(r.TrueDelayMS - r.HomogDelayMS); e > worstDelay {
+			worstDelay = e
+		}
+	}
+	if worstDelay < 10 {
+		t.Errorf("largest delay error %v ms, expected tens of ms", worstDelay)
+	}
+	// ...and be deterministic for a fixed seed.
+	again, err := ComputeInhomo(515151)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i].TrueReach != again[i].TrueReach {
+			t.Fatal("inhomogeneous draw not deterministic")
+		}
+	}
+}
+
+func TestComputeRTripIndependenceHolds(t *testing.T) {
+	rows, err := ComputeRTrip(8000, 909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		tol := math.Max(4*r.SimCompletionCI, 0.01)
+		if math.Abs(r.AnalyticCompletion-r.SimCompletion) > tol {
+			t.Errorf("path %d: analytic %v vs sim %v (tol %v)",
+				r.PathNumber, r.AnalyticCompletion, r.SimCompletion, tol)
+		}
+		if r.AnalyticCompletion >= 1 || r.AnalyticCompletion <= 0 {
+			t.Errorf("path %d: completion %v out of range", r.PathNumber, r.AnalyticCompletion)
+		}
+	}
+}
+
+func TestComputeTTLTradeoff(t *testing.T) {
+	rows, err := ComputeTTL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Reachability and mean delay both rise with TTL; utilization rises
+	// too (more retransmissions allowed).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Reachability <= rows[i-1].Reachability {
+			t.Error("reachability must rise with TTL")
+		}
+		if rows[i].ExpectedDelayMS <= rows[i-1].ExpectedDelayMS {
+			t.Error("mean delay must rise with TTL")
+		}
+		if rows[i].UtilizationExact <= rows[i-1].UtilizationExact {
+			t.Error("utilization must rise with TTL")
+		}
+	}
+	// TTL = full interval reproduces the Fig. 6 reachability.
+	if math.Abs(rows[3].Reachability-0.9624) > 5e-5 {
+		t.Errorf("full-TTL R = %v, want 0.9624", rows[3].Reachability)
+	}
+	// TTL = one frame keeps only cycle 1: R = 0.75^3.
+	if math.Abs(rows[0].Reachability-0.421875) > 1e-12 {
+		t.Errorf("one-frame TTL R = %v, want 0.421875", rows[0].Reachability)
+	}
+}
+
+// failingWriter errors after a byte budget, exercising the runners' write
+// error propagation.
+type failingWriter struct{ budget int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	n := len(p)
+	if n > f.budget {
+		n = f.budget
+	}
+	f.budget -= n
+	if n < len(p) {
+		return n, io.ErrClosedPipe
+	}
+	return n, nil
+}
+
+func TestRunnersPropagateWriteErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner sweep in -short mode")
+	}
+	// Fast runners only; the write failure fires on the first line so no
+	// heavy computation is wasted.
+	for _, id := range []string{"fig6", "fig7", "fig8", "fig10", "fig17", "tab1", "fig18", "ttl"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		if err := e.Run(&failingWriter{budget: 0}); err == nil {
+			t.Errorf("%s: write failure not propagated", id)
+		}
+		// And mid-stream failure too.
+		if err := e.Run(&failingWriter{budget: 60}); err == nil {
+			t.Errorf("%s: mid-stream write failure not propagated", id)
+		}
+	}
+}
+
+func TestComputeSensTopsWithE3(t *testing.T) {
+	rows, err := ComputeSens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	if rows[0].LinkName != "n3-G" && rows[0].LinkName != "G-n3" {
+		t.Errorf("top link = %s, want n3-G", rows[0].LinkName)
+	}
+	if rows[0].SharedBy != 4 || rows[0].MeanGain <= 0 {
+		t.Errorf("top row = %+v", rows[0])
+	}
+}
+
+func TestRunnersWriteComparisons(t *testing.T) {
+	// Spot-check that runner output includes paper reference values.
+	checks := map[string]string{
+		"fig6": "paper=0.42190",
+		"tab1": "paper=97.37",
+		"tab2": "paper=0.313",
+		"tab4": "paper=99.46",
+	}
+	for id, want := range checks {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var b strings.Builder
+		if err := e.Run(&b); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("%s output missing %q:\n%s", id, want, b.String())
+		}
+	}
+}
+
+var _ io.Writer = (*strings.Builder)(nil)

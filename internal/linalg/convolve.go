@@ -1,0 +1,41 @@
+package linalg
+
+// Convolve returns the discrete convolution of a and b:
+//
+//	out[k] = sum_i a[i] * b[k-i]
+//
+// with len(out) = len(a)+len(b)-1. For probability mass functions this is
+// the distribution of the sum of two independent variables. Empty inputs
+// yield an empty result.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] += ai * bj
+		}
+	}
+	return out
+}
+
+// ConvolveTruncated convolves a and b and truncates the result to n entries.
+// The truncated tail mass is simply dropped, matching the paper's treatment
+// of messages that would arrive after the reporting interval (they are
+// discarded). n must be non-negative.
+func ConvolveTruncated(a, b []float64, n int) []float64 {
+	full := Convolve(a, b)
+	if n < 0 {
+		n = 0
+	}
+	if len(full) > n {
+		full = full[:n]
+	}
+	out := make([]float64, n)
+	copy(out, full)
+	return out
+}

@@ -1,0 +1,278 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a rows×cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from a slice of equally long rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimension, i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the entry at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the entry at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add adds v to the entry at (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) Vector { return Vector(m.data[i*m.cols : (i+1)*m.cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// MulVec computes x*M for a row vector x, returning a new vector of length
+// Cols. This is the DTMC transient step p(t) = p(t-1) P.
+func (m *Matrix) MulVec(x Vector) (Vector, error) {
+	if len(x) != m.rows {
+		return nil, fmt.Errorf("%w: mulVec %d vs %d rows", ErrDimension, len(x), m.rows)
+	}
+	out := NewVector(m.cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, pij := range row {
+			out[j] += xi * pij
+		}
+	}
+	return out, nil
+}
+
+// Mul returns the matrix product m*n.
+func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
+	if m.cols != n.rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrDimension, m.rows, m.cols, n.rows, n.cols)
+	}
+	out := NewMatrix(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			nrow := n.data[k*n.cols : (k+1)*n.cols]
+			orow := out.data[i*n.cols : (i+1)*n.cols]
+			for j, b := range nrow {
+				orow[j] += a * b
+			}
+		}
+	}
+	return out, nil
+}
+
+// Pow returns m^k via binary exponentiation. k must be non-negative; m must
+// be square.
+func (m *Matrix) Pow(k int) (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("%w: pow of %dx%d", ErrDimension, m.rows, m.cols)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("linalg: negative matrix power %d", k)
+	}
+	result := Identity(m.rows)
+	base := m.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			var err error
+			if result, err = result.Mul(base); err != nil {
+				return nil, err
+			}
+		}
+		k >>= 1
+		if k > 0 {
+			var err error
+			if base, err = base.Mul(base); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return result, nil
+}
+
+// IsRowStochastic reports whether every row is a probability distribution
+// within tol.
+func (m *Matrix) IsRowStochastic(tol float64) bool {
+	for i := 0; i < m.rows; i++ {
+		if !m.Row(i).IsDistribution(tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Solve solves the linear system A x = b by Gaussian elimination with
+// partial pivoting. A must be square and is not modified.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("%w: solve with %dx%d matrix", ErrDimension, a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: solve rhs length %d, want %d", ErrDimension, len(b), n)
+	}
+	// Work on copies: augmented elimination.
+	m := a.Clone()
+	x := b.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, best := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m.data[col*n+j], m.data[pivot*n+j] = m.data[pivot*n+j], m.data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			m.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				m.Add(r, j, -f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// StationaryGTH computes the stationary distribution of an irreducible
+// row-stochastic matrix P using the Grassmann–Taksar–Heyman elimination,
+// which is numerically stable (subtraction-free).
+func StationaryGTH(p *Matrix) (Vector, error) {
+	n := p.rows
+	if p.cols != n {
+		return nil, fmt.Errorf("%w: stationary of %dx%d", ErrDimension, p.rows, p.cols)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: stationary of empty matrix")
+	}
+	m := p.Clone()
+	// Forward elimination: fold state k into states 0..k-1. rowSums[k]
+	// stores the departure mass S_k needed during back substitution.
+	rowSums := make([]float64, n)
+	for k := n - 1; k > 0; k-- {
+		var rowSum float64
+		for j := 0; j < k; j++ {
+			rowSum += m.At(k, j)
+		}
+		if rowSum == 0 {
+			return nil, fmt.Errorf("linalg: reducible chain, state %d unreachable backwards", k)
+		}
+		rowSums[k] = rowSum
+		for j := 0; j < k; j++ {
+			m.Set(k, j, m.At(k, j)/rowSum)
+		}
+		for i := 0; i < k; i++ {
+			pik := m.At(i, k)
+			if pik == 0 {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				m.Add(i, j, pik*m.At(k, j))
+			}
+		}
+	}
+	// Back substitution: pi_k = (sum_{i<k} pi_i P_ik) / S_k.
+	pi := NewVector(n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		var s float64
+		for i := 0; i < k; i++ {
+			s += pi[i] * m.At(i, k)
+		}
+		pi[k] = s / rowSums[k]
+	}
+	if err := pi.Normalize(); err != nil {
+		return nil, err
+	}
+	return pi, nil
+}

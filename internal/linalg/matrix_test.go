@@ -1,0 +1,305 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixAndAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Errorf("At(1,2) = %v, want 5", m.At(1, 2))
+	}
+	m.Add(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Errorf("after Add, At(1,2) = %v, want 7", m.At(1, 2))
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Errorf("Identity(3).At(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("FromRows() error: %v", err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("FromRows() with ragged rows should error")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Errorf("FromRows(nil) = %v rows, err %v", empty.Rows(), err)
+	}
+}
+
+func TestMatrixRowIsView(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[1] = 99
+	if m.At(0, 1) != 99 {
+		t.Error("Row() should return a view, not a copy")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone() should be independent")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	p, _ := FromRows([][]float64{
+		{0.5, 0.5},
+		{0.2, 0.8},
+	})
+	x := Vector{1, 0}
+	got, err := p.MulVec(x)
+	if err != nil {
+		t.Fatalf("MulVec() error: %v", err)
+	}
+	if got[0] != 0.5 || got[1] != 0.5 {
+		t.Errorf("MulVec() = %v, want [0.5 0.5]", got)
+	}
+	if _, err := p.MulVec(Vector{1}); err == nil {
+		t.Error("MulVec() with wrong length should error")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul() error: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want[i][j] {
+				t.Errorf("Mul().At(%d,%d) = %v, want %v", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+	c := NewMatrix(3, 2)
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("Mul() with incompatible shapes should error")
+	}
+	if _, err := c.Mul(a); err != nil {
+		t.Errorf("Mul() 3x2 by 2x2 should work: %v", err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	p, _ := FromRows([][]float64{
+		{0.9, 0.1},
+		{0.4, 0.6},
+	})
+	p0, err := p.Pow(0)
+	if err != nil {
+		t.Fatalf("Pow(0) error: %v", err)
+	}
+	if p0.At(0, 0) != 1 || p0.At(0, 1) != 0 {
+		t.Errorf("Pow(0) should be identity, got %v", p0)
+	}
+	p1, _ := p.Pow(1)
+	if p1.At(0, 1) != 0.1 {
+		t.Errorf("Pow(1) should equal p, got %v", p1)
+	}
+	// p^4 computed two ways.
+	p4a, _ := p.Pow(4)
+	p2, _ := p.Mul(p)
+	p4b, _ := p2.Mul(p2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(p4a.At(i, j)-p4b.At(i, j)) > 1e-12 {
+				t.Errorf("Pow(4) mismatch at (%d,%d): %v vs %v", i, j, p4a.At(i, j), p4b.At(i, j))
+			}
+		}
+	}
+	if _, err := p.Pow(-1); err == nil {
+		t.Error("Pow(-1) should error")
+	}
+	if _, err := NewMatrix(2, 3).Pow(2); err == nil {
+		t.Error("Pow of non-square should error")
+	}
+}
+
+func TestIsRowStochastic(t *testing.T) {
+	p, _ := FromRows([][]float64{{0.5, 0.5}, {1, 0}})
+	if !p.IsRowStochastic(1e-12) {
+		t.Error("valid stochastic matrix reported as non-stochastic")
+	}
+	q, _ := FromRows([][]float64{{0.5, 0.6}, {1, 0}})
+	if q.IsRowStochastic(1e-12) {
+		t.Error("invalid matrix reported as stochastic")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := Vector{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	want := Vector{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("Solve()[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	// Original matrix must be untouched.
+	if a.At(0, 0) != 2 {
+		t.Error("Solve() modified its input matrix")
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}})
+	if _, err := Solve(a, Vector{1, 2}); err == nil {
+		t.Error("Solve() of singular system should error")
+	}
+	if _, err := Solve(NewMatrix(2, 3), Vector{1, 2}); err == nil {
+		t.Error("Solve() with non-square matrix should error")
+	}
+	if _, err := Solve(Identity(2), Vector{1}); err == nil {
+		t.Error("Solve() with wrong rhs length should error")
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the first diagonal entry forces a row swap.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, Vector{3, 7})
+	if err != nil {
+		t.Fatalf("Solve() error: %v", err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Errorf("Solve() = %v, want [7 3]", x)
+	}
+}
+
+func TestStationaryGTHTwoState(t *testing.T) {
+	// The paper's link model: UP<->DOWN with p_fl and p_rc; stationary
+	// distribution is [p_rc, p_fl]/(p_rc+p_fl) (Eq. 4).
+	pfl, prc := 0.0966, 0.9
+	p, _ := FromRows([][]float64{
+		{1 - pfl, pfl},
+		{prc, 1 - prc},
+	})
+	pi, err := StationaryGTH(p)
+	if err != nil {
+		t.Fatalf("StationaryGTH() error: %v", err)
+	}
+	wantUp := prc / (prc + pfl)
+	if math.Abs(pi[0]-wantUp) > 1e-14 {
+		t.Errorf("pi[0] = %v, want %v", pi[0], wantUp)
+	}
+	if math.Abs(pi.Sum()-1) > 1e-14 {
+		t.Errorf("stationary distribution sums to %v", pi.Sum())
+	}
+}
+
+func TestStationaryGTHInvariance(t *testing.T) {
+	// pi P = pi for a random irreducible chain.
+	rng := rand.New(rand.NewSource(42))
+	n := 6
+	p := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			v := rng.Float64() + 0.01
+			p.Set(i, j, v)
+			sum += v
+		}
+		for j := 0; j < n; j++ {
+			p.Set(i, j, p.At(i, j)/sum)
+		}
+	}
+	pi, err := StationaryGTH(p)
+	if err != nil {
+		t.Fatalf("StationaryGTH() error: %v", err)
+	}
+	piP, err := p.MulVec(pi)
+	if err != nil {
+		t.Fatalf("MulVec() error: %v", err)
+	}
+	diff, _ := pi.MaxAbsDiff(piP)
+	if diff > 1e-12 {
+		t.Errorf("pi P differs from pi by %v", diff)
+	}
+}
+
+func TestStationaryGTHErrors(t *testing.T) {
+	if _, err := StationaryGTH(NewMatrix(2, 3)); err == nil {
+		t.Error("StationaryGTH of non-square should error")
+	}
+	if _, err := StationaryGTH(NewMatrix(0, 0)); err == nil {
+		t.Error("StationaryGTH of empty matrix should error")
+	}
+	// Reducible: state 1 never transitions back.
+	p, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	if _, err := StationaryGTH(p); err == nil {
+		t.Error("StationaryGTH of reducible chain should error")
+	}
+}
+
+func TestStationaryGTHProperty(t *testing.T) {
+	// For random two-state chains with strictly positive rates the GTH
+	// result matches the analytic formula.
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		pfl := math.Abs(math.Mod(a, 0.98)) + 0.01
+		prc := math.Abs(math.Mod(b, 0.98)) + 0.01
+		if pfl > 0.99 || prc > 0.99 {
+			return true
+		}
+		p, _ := FromRows([][]float64{
+			{1 - pfl, pfl},
+			{prc, 1 - prc},
+		})
+		pi, err := StationaryGTH(p)
+		if err != nil {
+			return false
+		}
+		want := prc / (prc + pfl)
+		return math.Abs(pi[0]-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}})
+	if got := m.String(); got != "1 2\n" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorSum(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		want float64
+	}{
+		{name: "empty", v: Vector{}, want: 0},
+		{name: "single", v: Vector{2.5}, want: 2.5},
+		{name: "mixed signs", v: Vector{1, -1, 2, -2, 3}, want: 3},
+		{name: "small values", v: Vector{1e-10, 1e-10, 1e-10}, want: 3e-10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Sum(); math.Abs(got-tt.want) > 1e-15 {
+				t.Errorf("Sum() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVectorSumKahanStability(t *testing.T) {
+	// One big value plus many tiny ones: naive summation loses the tiny
+	// contributions; Kahan keeps them.
+	v := make(Vector, 1_000_001)
+	v[0] = 1
+	for i := 1; i < len(v); i++ {
+		v[i] = 1e-16
+	}
+	got := v.Sum()
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Sum() = %.17g, want %.17g", got, want)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Errorf("Clone is not independent: v[0] = %v", v[0])
+	}
+}
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	got, err := v.Dot(w)
+	if err != nil {
+		t.Fatalf("Dot() error: %v", err)
+	}
+	if got != 32 {
+		t.Errorf("Dot() = %v, want 32", got)
+	}
+	if _, err := v.Dot(Vector{1}); err == nil {
+		t.Error("Dot() with mismatched lengths should error")
+	}
+}
+
+func TestVectorAddScaled(t *testing.T) {
+	v := Vector{1, 2}
+	if err := v.AddScaled(2, Vector{10, 20}); err != nil {
+		t.Fatalf("AddScaled() error: %v", err)
+	}
+	if v[0] != 21 || v[1] != 42 {
+		t.Errorf("AddScaled() = %v, want [21 42]", v)
+	}
+	if err := v.AddScaled(1, Vector{1}); err == nil {
+		t.Error("AddScaled() with mismatched lengths should error")
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{1, 3}
+	if err := v.Normalize(); err != nil {
+		t.Fatalf("Normalize() error: %v", err)
+	}
+	if math.Abs(v[0]-0.25) > 1e-15 || math.Abs(v[1]-0.75) > 1e-15 {
+		t.Errorf("Normalize() = %v, want [0.25 0.75]", v)
+	}
+}
+
+func TestVectorNormalizeZero(t *testing.T) {
+	v := Vector{0, 0}
+	if err := v.Normalize(); err == nil {
+		t.Error("Normalize() of zero vector should error")
+	}
+	var empty Vector
+	if err := empty.Normalize(); err == nil {
+		t.Error("Normalize() of empty vector should error")
+	}
+}
+
+func TestVectorMaxAbsDiff(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{1, 5, 2}
+	got, err := v.MaxAbsDiff(w)
+	if err != nil {
+		t.Fatalf("MaxAbsDiff() error: %v", err)
+	}
+	if got != 3 {
+		t.Errorf("MaxAbsDiff() = %v, want 3", got)
+	}
+	if _, err := v.MaxAbsDiff(Vector{1}); err == nil {
+		t.Error("MaxAbsDiff() with mismatched lengths should error")
+	}
+}
+
+func TestVectorIsDistribution(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		want bool
+	}{
+		{name: "valid", v: Vector{0.25, 0.75}, want: true},
+		{name: "negative entry", v: Vector{-0.5, 1.5}, want: false},
+		{name: "sums over one", v: Vector{0.9, 0.9}, want: false},
+		{name: "entry over one", v: Vector{1.5, -0.5}, want: false},
+		{name: "nan", v: Vector{math.NaN(), 1}, want: false},
+		{name: "point mass", v: Vector{0, 1, 0}, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.IsDistribution(1e-12); got != tt.want {
+				t.Errorf("IsDistribution() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVectorNormalizeProperty(t *testing.T) {
+	// Any vector with positive entries normalizes to a distribution.
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make(Vector, len(raw))
+		total := 0.0
+		for i, x := range raw {
+			v[i] = math.Abs(math.Mod(x, 1000)) + 1e-9
+			total += v[i]
+		}
+		if total == 0 || math.IsNaN(total) {
+			return true
+		}
+		if err := v.Normalize(); err != nil {
+			return false
+		}
+		return v.IsDistribution(1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

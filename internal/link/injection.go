@@ -1,0 +1,137 @@
+package link
+
+import "fmt"
+
+// FailureKind enumerates the three failure classes of paper Section VI-C.
+type FailureKind int
+
+const (
+	// Transient failures last a single slot; frequency hopping recovers
+	// the link immediately (modeled by StartingDown).
+	Transient FailureKind = iota + 1
+	// RandomDuration failures (temporary loss of line of sight) block the
+	// link for a number of slots; hopping does not help.
+	RandomDuration
+	// Permanent failures never recover; routing must change.
+	Permanent
+)
+
+// String returns the failure kind name.
+func (k FailureKind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case RandomDuration:
+		return "random-duration"
+	case Permanent:
+		return "permanent"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", int(k))
+	}
+}
+
+// PermanentDown returns an availability that is always zero: a permanently
+// failed link (obstruction, hardware fault). The network layer is expected
+// to reroute around it.
+func PermanentDown() Availability {
+	return func(int) float64 { return 0 }
+}
+
+// Blocked forces base to zero inside the half-open slot window [from, to)
+// and leaves it untouched elsewhere (no relaxation). This is the
+// paper-compatible Table III semantics where the affected paths simply
+// lose the blocked cycles and resume at steady state.
+func Blocked(base Availability, from, to int) (Availability, error) {
+	if base == nil {
+		return nil, fmt.Errorf("link: Blocked requires a base availability")
+	}
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("link: invalid blocked window [%d,%d)", from, to)
+	}
+	return func(slot int) float64 {
+		if slot >= from && slot < to {
+			return 0
+		}
+		return base(slot)
+	}, nil
+}
+
+// DownDuring returns an availability that behaves like base outside the
+// half-open slot window [from, to), is forced DOWN inside the window, and
+// relaxes back from the DOWN state afterwards using the model's transient
+// curve. This models the paper's random-duration failure: e.g. link e3
+// down for one cycle (40 slots at Fup=Fdown=20 -> 20 uplink slots).
+func (m Model) DownDuring(from, to int, base Availability) (Availability, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("link: invalid failure window [%d,%d)", from, to)
+	}
+	if base == nil {
+		base = m.Steady()
+	}
+	return func(slot int) float64 {
+		switch {
+		case slot < from:
+			return base(slot)
+		case slot < to:
+			return 0
+		default:
+			// Relaxation: the link was DOWN at slot to-1 (the last
+			// forced slot), so by slot `to` it has had one recovery
+			// opportunity: elapsed = slot - to + 1.
+			return m.TransientUp(0, slot-to+1)
+		}
+	}, nil
+}
+
+// GeometricDownCycles returns the expected availability of a link whose
+// failure lasts a geometrically distributed number of cycles: at the start
+// of each cycle (of cycleSlots uplink slots) the link stays failed with
+// probability stay. The returned availability is the mixture over failure
+// durations, truncated after maxCycles cycles (remaining mass treated as
+// failed throughout).
+//
+// This realizes the paper's suggestion that "the number of cycles which are
+// affected by the failure is geometrically distributed".
+func (m Model) GeometricDownCycles(stay float64, cycleSlots, maxCycles int, base Availability) (Availability, error) {
+	if stay < 0 || stay >= 1 {
+		return nil, fmt.Errorf("link: stay probability %v out of [0,1)", stay)
+	}
+	if cycleSlots < 1 {
+		return nil, fmt.Errorf("link: cycle must have at least one slot, got %d", cycleSlots)
+	}
+	if maxCycles < 1 {
+		return nil, fmt.Errorf("link: need at least one cycle, got %d", maxCycles)
+	}
+	if base == nil {
+		base = m.Steady()
+	}
+	// Precompute the per-duration availabilities: duration d cycles means
+	// DOWN during [0, d*cycleSlots).
+	durAvail := make([]Availability, maxCycles+1)
+	for d := 1; d <= maxCycles; d++ {
+		av, err := m.DownDuring(0, d*cycleSlots, base)
+		if err != nil {
+			return nil, err
+		}
+		durAvail[d] = av
+	}
+	return func(slot int) float64 {
+		var acc, mass float64
+		p := 1.0 // P(duration >= d) before observing cycle d
+		for d := 1; d <= maxCycles; d++ {
+			var pd float64 // P(duration == d)
+			if d == maxCycles {
+				pd = p // fold the tail into the last bucket
+			} else {
+				pd = p * (1 - stay)
+			}
+			acc += pd * durAvail[d](slot)
+			mass += pd
+			p *= stay
+		}
+		if mass == 0 {
+			return 0
+		}
+		return acc / mass
+	}, nil
+}

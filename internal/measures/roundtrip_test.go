@@ -1,0 +1,82 @@
+package measures
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSymmetricRoundTripPaperClaim(t *testing.T) {
+	// Section V-A: "the control-loop could be completed in one cycle
+	// with probability 0.4219^2 = 0.178".
+	res := examplePathResult(t)
+	rt, err := SymmetricRoundTrip(CycleFunction(res), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rt.CycleProbs[0]-0.178) > 5e-4 {
+		t.Errorf("one-cycle loop completion = %v, want ~0.178", rt.CycleProbs[0])
+	}
+	// Completion within the interval cannot exceed R^2 ... actually it is
+	// strictly below R_up * R_down because late uplink arrivals leave no
+	// time for the downlink.
+	r := res.Reachability()
+	if rt.Completion >= r*r {
+		t.Errorf("completion %v should be below R^2 = %v", rt.Completion, r*r)
+	}
+	if rt.Completion <= rt.CycleProbs[0] {
+		t.Error("completion must exceed the one-cycle probability")
+	}
+}
+
+func TestComposeRoundTripAsymmetric(t *testing.T) {
+	up := []float64{0.9, 0.09}
+	down := []float64{0.8, 0.16}
+	rt, err := ComposeRoundTrip(up, down, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1: 0.9*0.8; k=2: 0.9*0.16 + 0.09*0.8.
+	if math.Abs(rt.CycleProbs[0]-0.72) > 1e-12 {
+		t.Errorf("cycle 1 = %v, want 0.72", rt.CycleProbs[0])
+	}
+	want2 := 0.9*0.16 + 0.09*0.8
+	if math.Abs(rt.CycleProbs[1]-want2) > 1e-12 {
+		t.Errorf("cycle 2 = %v, want %v", rt.CycleProbs[1], want2)
+	}
+	if math.Abs(rt.Completion-(0.72+want2)) > 1e-12 {
+		t.Errorf("completion = %v", rt.Completion)
+	}
+}
+
+func TestComposeRoundTripValidation(t *testing.T) {
+	if _, err := ComposeRoundTrip(nil, []float64{1}, 2); err == nil {
+		t.Error("empty uplink should error")
+	}
+	if _, err := ComposeRoundTrip([]float64{1}, nil, 2); err == nil {
+		t.Error("empty downlink should error")
+	}
+	if _, err := ComposeRoundTrip([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("zero interval should error")
+	}
+}
+
+func TestRoundTripDelayDistribution(t *testing.T) {
+	rt := &RoundTrip{CycleProbs: []float64{0.5, 0.25}, Completion: 0.75}
+	pmf, err := rt.DelayDistribution(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One super-frame = 140 ms; normalized over completed loops.
+	if math.Abs(pmf.Prob(140)-0.5/0.75) > 1e-12 {
+		t.Errorf("P(140ms) = %v, want %v", pmf.Prob(140), 0.5/0.75)
+	}
+	if math.Abs(pmf.Prob(280)-0.25/0.75) > 1e-12 {
+		t.Errorf("P(280ms) = %v, want %v", pmf.Prob(280), 0.25/0.75)
+	}
+	if _, err := rt.DelayDistribution(0, 7); err == nil {
+		t.Error("zero fup should error")
+	}
+	if _, err := rt.DelayDistribution(7, -1); err == nil {
+		t.Error("negative fdown should error")
+	}
+}

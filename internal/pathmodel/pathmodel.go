@@ -1,0 +1,281 @@
+// Package pathmodel builds the paper's hierarchical path DTMC (Section IV,
+// Algorithm 1): for an n-hop uplink path with a communication schedule, a
+// reporting interval of Is super-frames and a TTL, it constructs the
+// absorbing DTMC over message-age states whose transition probabilities are
+// inherited from per-hop link availability functions.
+//
+// # Time convention
+//
+// Ages count uplink slots from the start of the reporting interval. The
+// message is born with age 0; the transmission scheduled in frame slot s
+// executes as the transition entering age s, so a message whose final hop
+// is scheduled in slot a0 can first reach the gateway with age a0 and, in
+// cycle i, with age a_i = a0 + (i-1)*Fup (the paper's goal states R_{a_i}).
+// Downlink slots are excluded: uplink messages sleep through them, so both
+// ages and the TTL advance only on uplink slots; the conversion to wall
+// time happens in the measures package.
+package pathmodel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"wirelesshart/internal/dtmc"
+	"wirelesshart/internal/link"
+)
+
+// Config specifies a path model.
+type Config struct {
+	// Slots holds the 1-based frame slot of each hop's dedicated
+	// transmission, strictly increasing within the frame (hop h's
+	// transmission happens in slot Slots[h] of every super-frame).
+	Slots []int
+	// Fup is the uplink frame size in slots; all slots must lie in
+	// [1, Fup].
+	Fup int
+	// Is is the reporting interval in super-frames (cycles); the model's
+	// horizon is Is*Fup uplink slots.
+	Is int
+	// TTL is the message time-to-live in uplink slots. Zero selects the
+	// default Is*Fup (discard exactly at the end of the reporting
+	// interval). It cannot exceed Is*Fup.
+	TTL int
+	// Links holds one availability function per hop; Links[h](t) is the
+	// probability that hop h's link is UP during uplink slot t (1-based).
+	Links []link.Availability
+}
+
+func (c Config) validate() error {
+	if len(c.Slots) == 0 {
+		return errors.New("pathmodel: path needs at least one hop")
+	}
+	if c.Fup < 1 {
+		return fmt.Errorf("pathmodel: frame size %d must be positive", c.Fup)
+	}
+	if c.Is < 1 {
+		return fmt.Errorf("pathmodel: reporting interval %d must be positive", c.Is)
+	}
+	if len(c.Links) != len(c.Slots) {
+		return fmt.Errorf("pathmodel: %d hops but %d link models", len(c.Slots), len(c.Links))
+	}
+	prev := 0
+	for h, s := range c.Slots {
+		if s < 1 || s > c.Fup {
+			return fmt.Errorf("pathmodel: hop %d slot %d out of [1,%d]", h+1, s, c.Fup)
+		}
+		if s <= prev {
+			return fmt.Errorf("pathmodel: hop slots must be strictly increasing, got %v", c.Slots)
+		}
+		prev = s
+	}
+	for h, av := range c.Links {
+		if av == nil {
+			return fmt.Errorf("pathmodel: hop %d has nil availability", h+1)
+		}
+	}
+	if c.TTL < 0 || c.TTL > c.Is*c.Fup {
+		return fmt.Errorf("pathmodel: TTL %d out of [0,%d]", c.TTL, c.Is*c.Fup)
+	}
+	return nil
+}
+
+// ttl returns the effective TTL.
+func (c Config) ttl() int {
+	if c.TTL == 0 {
+		return c.Is * c.Fup
+	}
+	return c.TTL
+}
+
+// Model is a constructed path DTMC.
+type Model struct {
+	cfg     Config
+	chain   *dtmc.Chain
+	initial int
+	goals   []int // state id of goal R_{a_i}, index i-1
+	ages    []int // a_i for each goal
+	discard int
+	// transmit[id] describes the transmission out of transient state id,
+	// if any (used for exact utilization accounting).
+	transmit map[int]hopAttempt
+	// timeOf[id] is the age t of transient state id.
+	timeOf map[int]int
+}
+
+type hopAttempt struct {
+	hop  int
+	slot int // absolute uplink slot of the attempt
+}
+
+// Build constructs the path model per Algorithm 1 (depth-first from the
+// initial state, memoizing states by (age, hops-completed)).
+func Build(cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Slots)
+	horizon := cfg.Is * cfg.Fup
+	ttl := cfg.ttl()
+
+	m := &Model{
+		cfg:      cfg,
+		chain:    dtmc.New(),
+		transmit: map[int]hopAttempt{},
+		timeOf:   map[int]int{},
+	}
+
+	// Absorbing goal states R_{a_i}, one per cycle whose arrival age is
+	// within the TTL.
+	a0 := cfg.Slots[n-1]
+	for i := 1; i <= cfg.Is; i++ {
+		age := a0 + (i-1)*cfg.Fup
+		if age > ttl {
+			break
+		}
+		id, err := m.chain.AddState(fmt.Sprintf("R%d", age))
+		if err != nil {
+			return nil, err
+		}
+		if err := m.chain.MarkAbsorbing(id); err != nil {
+			return nil, err
+		}
+		m.goals = append(m.goals, id)
+		m.ages = append(m.ages, age)
+	}
+	discard, err := m.chain.AddState("Discard")
+	if err != nil {
+		return nil, err
+	}
+	if err := m.chain.MarkAbsorbing(discard); err != nil {
+		return nil, err
+	}
+	m.discard = discard
+
+	// Transient states keyed by (age, hops completed).
+	type key struct{ t, h int }
+	ids := map[key]int{}
+	var construct func(t, h int) (int, error)
+	construct = func(t, h int) (int, error) {
+		// TTL expiry / horizon: the message is dropped the moment its age
+		// reaches the TTL without having arrived, so this "state" is the
+		// discard state itself.
+		if t >= ttl || t >= horizon {
+			return discard, nil
+		}
+		k := key{t: t, h: h}
+		if id, ok := ids[k]; ok {
+			return id, nil
+		}
+		id, err := m.chain.AddState(stateName(t, h, n))
+		if err != nil {
+			return 0, err
+		}
+		ids[k] = id
+		m.timeOf[id] = t
+
+		next := t + 1
+		frameSlot := (next-1)%cfg.Fup + 1
+		if frameSlot == cfg.Slots[h] {
+			// This path's hop h+1 transmits during slot `next`.
+			ps := m.cfg.Links[h](next)
+			if ps < 0 || ps > 1 {
+				return 0, fmt.Errorf("pathmodel: hop %d availability %v at slot %d out of [0,1]", h+1, ps, next)
+			}
+			m.transmit[id] = hopAttempt{hop: h, slot: next}
+			if h == n-1 {
+				// Final hop: success reaches the goal of the current
+				// cycle.
+				gi := (next - cfg.Slots[n-1]) / cfg.Fup
+				if gi < 0 || gi >= len(m.goals) {
+					return 0, fmt.Errorf("pathmodel: internal: no goal for arrival age %d", next)
+				}
+				if err := m.chain.AddTransition(id, m.goals[gi], ps); err != nil {
+					return 0, err
+				}
+			} else {
+				succ, err := construct(next, h+1)
+				if err != nil {
+					return 0, err
+				}
+				if err := m.chain.AddTransition(id, succ, ps); err != nil {
+					return 0, err
+				}
+			}
+			fail, err := construct(next, h)
+			if err != nil {
+				return 0, err
+			}
+			if err := m.chain.AddTransition(id, fail, 1-ps); err != nil {
+				return 0, err
+			}
+			return id, nil
+		}
+		// No transmission for this message in slot `next`: age advances.
+		nx, err := construct(next, h)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.chain.AddTransition(id, nx, 1); err != nil {
+			return 0, err
+		}
+		return id, nil
+	}
+
+	initial, err := construct(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.initial = initial
+	if err := m.chain.Validate(1e-9); err != nil {
+		return nil, fmt.Errorf("pathmodel: constructed chain invalid: %w", err)
+	}
+	return m, nil
+}
+
+// stateName renders a state in the paper's age-tuple notation: nodes that
+// hold a copy of the message show its age, the rest show "-".
+func stateName(t, h, n int) string {
+	parts := make([]string, n)
+	for i := 0; i < n; i++ {
+		if i <= h {
+			parts[i] = fmt.Sprintf("%d", t)
+		} else {
+			parts[i] = "-"
+		}
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Chain returns the underlying DTMC.
+func (m *Model) Chain() *dtmc.Chain { return m.chain }
+
+// InitialState returns the id of the initial state (message born at the
+// source, age 0).
+func (m *Model) InitialState() int { return m.initial }
+
+// GoalStates returns the goal state ids in cycle order.
+func (m *Model) GoalStates() []int {
+	out := make([]int, len(m.goals))
+	copy(out, m.goals)
+	return out
+}
+
+// GoalAges returns the arrival ages a_i of the goal states in cycle order.
+func (m *Model) GoalAges() []int {
+	out := make([]int, len(m.ages))
+	copy(out, m.ages)
+	return out
+}
+
+// DiscardState returns the id of the discard state.
+func (m *Model) DiscardState() int { return m.discard }
+
+// NumStates returns the model's state count (the paper's O(Is*Fs*n)).
+func (m *Model) NumStates() int { return m.chain.NumStates() }
+
+// Hops returns the number of hops on the path.
+func (m *Model) Hops() int { return len(m.cfg.Slots) }
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }

@@ -1,0 +1,266 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"wirelesshart/internal/topology"
+)
+
+func typical(t *testing.T) (*topology.Network, []topology.NodeID, map[topology.NodeID]topology.Path) {
+	t.Helper()
+	n, sources, err := topology.TypicalNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := n.UplinkRoutes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, sources, routes
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero-slot schedule should error")
+	}
+	s, err := New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fup() != 7 {
+		t.Errorf("Fup() = %d, want 7", s.Fup())
+	}
+	e, err := s.Entry(1)
+	if err != nil || !e.Idle {
+		t.Errorf("fresh slot should be idle: %+v, %v", e, err)
+	}
+	if _, err := s.Entry(0); err == nil {
+		t.Error("slot 0 should error (1-based)")
+	}
+	if _, err := s.Entry(8); err == nil {
+		t.Error("slot beyond frame should error")
+	}
+}
+
+func TestSetTransmission(t *testing.T) {
+	s, _ := New(7)
+	if err := s.SetTransmission(3, 1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := s.Entry(3)
+	if e.Idle || e.From != 1 || e.To != 2 || e.Source != 1 {
+		t.Errorf("entry = %+v", e)
+	}
+	if err := s.SetTransmission(3, 2, 3, 1); err == nil {
+		t.Error("double-booking a slot should error")
+	}
+	if err := s.SetTransmission(0, 1, 2, 1); err == nil {
+		t.Error("slot 0 should error")
+	}
+	if err := s.SetTransmission(4, 2, 2, 1); err == nil {
+		t.Error("self transmission should error")
+	}
+	if s.UsedSlots() != 1 {
+		t.Errorf("UsedSlots() = %d, want 1", s.UsedSlots())
+	}
+}
+
+func TestSlotsForSource(t *testing.T) {
+	s, _ := New(7)
+	// Example path of Section V-A: slots 3, 6, 7 for source 1.
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.SetTransmission(3, 1, 2, 1))
+	must(s.SetTransmission(6, 2, 3, 1))
+	must(s.SetTransmission(7, 3, 0, 1))
+	got := s.SlotsForSource(1)
+	want := []int{3, 6, 7}
+	if len(got) != 3 {
+		t.Fatalf("SlotsForSource = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("slot[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	last, err := s.LastSlotFor(1)
+	if err != nil || last != 7 {
+		t.Errorf("LastSlotFor = %d, %v, want 7", last, err)
+	}
+	if _, err := s.LastSlotFor(99); err == nil {
+		t.Error("unknown source should error")
+	}
+	if got := s.SlotsForSource(99); got != nil {
+		t.Errorf("unknown source slots = %v, want nil", got)
+	}
+}
+
+func TestBuildPriorityEtaA(t *testing.T) {
+	// Shortest-first priority over the typical network must produce the
+	// paper's eta_a: 19 transmissions, paths allocated in order 1..10.
+	n, sources, routes := typical(t)
+	order := ShortestFirst(routes)
+	s, err := BuildPriority(routes, order, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fup() != 20 {
+		t.Errorf("Fup() = %d, want 20 (19 transmissions + 1 idle)", s.Fup())
+	}
+	if s.UsedSlots() != 19 {
+		t.Errorf("UsedSlots() = %d, want 19", s.UsedSlots())
+	}
+	// Paper's eta_a anchors: path 1 transmits at slot 1; path 4 at slots
+	// 4-5; path 10 at slots 17-19.
+	checks := []struct {
+		source topology.NodeID
+		slots  []int
+	}{
+		{source: sources[0], slots: []int{1}},
+		{source: sources[3], slots: []int{4, 5}},
+		{source: sources[9], slots: []int{17, 18, 19}},
+	}
+	for _, c := range checks {
+		got := s.SlotsForSource(c.source)
+		if len(got) != len(c.slots) {
+			t.Fatalf("source %d slots = %v, want %v", c.source, got, c.slots)
+		}
+		for i := range c.slots {
+			if got[i] != c.slots[i] {
+				t.Errorf("source %d slot[%d] = %d, want %d", c.source, i, got[i], c.slots[i])
+			}
+		}
+	}
+	if err := s.Validate(n, routes); err != nil {
+		t.Errorf("eta_a failed validation: %v", err)
+	}
+}
+
+func TestBuildPriorityEtaBReconstruction(t *testing.T) {
+	// The reconstructed eta_b: order 9,10,4,5,6,8,7,1,2,3 puts path 10's
+	// last hop at slot 6 and path 7's at slot 16 (the anchors that match
+	// the paper's Fig. 16).
+	n, sources, routes := typical(t)
+	order := []topology.NodeID{
+		sources[8], sources[9], sources[3], sources[4], sources[5],
+		sources[7], sources[6], sources[0], sources[1], sources[2],
+	}
+	s, err := BuildPriority(routes, order, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last, _ := s.LastSlotFor(sources[9]); last != 6 {
+		t.Errorf("path 10 last slot = %d, want 6", last)
+	}
+	if last, _ := s.LastSlotFor(sources[6]); last != 16 {
+		t.Errorf("path 7 last slot = %d, want 16", last)
+	}
+	if err := s.Validate(n, routes); err != nil {
+		t.Errorf("eta_b failed validation: %v", err)
+	}
+}
+
+func TestShortestFirstOrder(t *testing.T) {
+	_, sources, routes := typical(t)
+	order := ShortestFirst(routes)
+	if len(order) != 10 {
+		t.Fatalf("order length %d", len(order))
+	}
+	// Ascending hops, ties by id: exactly sources[0..9].
+	for i, src := range order {
+		if src != sources[i] {
+			t.Errorf("order[%d] = %v, want %v", i, src, sources[i])
+		}
+	}
+}
+
+func TestLongestFirstOrder(t *testing.T) {
+	_, sources, routes := typical(t)
+	order := LongestFirst(routes)
+	// Descending hops: 9, 10 first, then the five 2-hop, then 1-hop.
+	if order[0] != sources[8] || order[1] != sources[9] {
+		t.Errorf("longest-first should start with paths 9, 10: %v", order[:2])
+	}
+	if routes[order[9]].Hops() != 1 {
+		t.Error("longest-first should end with a 1-hop path")
+	}
+}
+
+func TestBuildPriorityValidation(t *testing.T) {
+	_, sources, routes := typical(t)
+	order := ShortestFirst(routes)
+	if _, err := BuildPriority(routes, order[:5], 0); err == nil {
+		t.Error("incomplete priority order should error")
+	}
+	if _, err := BuildPriority(routes, order, -1); err == nil {
+		t.Error("negative padding should error")
+	}
+	dup := append([]topology.NodeID{}, order...)
+	dup[1] = dup[0]
+	if _, err := BuildPriority(routes, dup, 0); err == nil {
+		t.Error("duplicate source should error")
+	}
+	unknown := append([]topology.NodeID{}, order...)
+	unknown[0] = 999
+	if _, err := BuildPriority(routes, unknown, 0); err == nil {
+		t.Error("unknown source should error")
+	}
+	_ = sources
+}
+
+func TestBuildPriorityEmptyRoutes(t *testing.T) {
+	if _, err := BuildPriority(map[topology.NodeID]topology.Path{}, nil, 0); err == nil {
+		t.Error("empty routes should error")
+	}
+}
+
+func TestValidateCatchesBadSchedules(t *testing.T) {
+	n, sources, routes := typical(t)
+	// Missing slots for a route.
+	s, _ := New(5)
+	if err := s.Validate(n, routes); err == nil {
+		t.Error("schedule without dedicated slots should fail validation")
+	}
+	// A transmission over a non-existent link.
+	s2, _ := New(25)
+	gw, _ := n.Gateway()
+	if err := s2.SetTransmission(1, sources[9], gw, sources[9]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Validate(n, routes); err == nil {
+		t.Error("transmission over missing link should fail validation")
+	}
+}
+
+func TestFormatEtaNotation(t *testing.T) {
+	n, _, routes := typical(t)
+	s, err := BuildPriority(routes, ShortestFirst(routes), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Format(n)
+	for _, want := range []string{"<n1,G>", "<n4,n1>", "<n10,n7>", "*"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format() missing %q: %s", want, got)
+		}
+	}
+}
+
+func TestTransmissionsOrdered(t *testing.T) {
+	_, _, routes := typical(t)
+	s, _ := BuildPriority(routes, ShortestFirst(routes), 1)
+	trs := s.Transmissions()
+	if len(trs) != 19 {
+		t.Fatalf("Transmissions() = %d entries, want 19", len(trs))
+	}
+	for i := 1; i < len(trs); i++ {
+		if trs[i-1].Slot >= trs[i].Slot {
+			t.Error("Transmissions() must be in slot order")
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBuild drives arbitrary JSON through Parse and Build: neither
+// must panic, and every accepted spec must build a routable, analyzable
+// network or return an error.
+func FuzzParseBuild(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"nodes": []}`,
+		`{"nodes": [{"name": "G", "kind": "gateway"}, {"name": "n1"}],
+		  "links": [{"a": "n1", "b": "G"}],
+		  "schedule": {"policy": "shortest-first"}}`,
+		`{"nodes": [{"name": "G", "kind": "gateway"}, {"name": "n1"}],
+		  "links": [{"a": "n1", "b": "G", "ber": 1e-4, "failure": {"kind": "window", "fromSlot": 1, "toSlot": 5}}],
+		  "schedule": {"fup": 5, "slots": [{"slot": 1, "from": "n1", "to": "G", "source": "n1"}]},
+		  "reportingInterval": 2, "ttl": 5, "fdown": 3}`,
+		`{"nodes": [{"name": "a"}], "links": [{"a": "a", "b": "a"}]}`,
+		`{"nodes": [{"name": "G", "kind": "gateway"}], "schedule": {"policy": "zzz"}}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return // malformed input is fine, as long as we do not panic
+		}
+		built, err := s.Build()
+		if err != nil {
+			return
+		}
+		// An accepted spec must be fully analyzable.
+		if _, err := built.Analyzer.Analyze(); err != nil {
+			t.Errorf("built spec fails analysis: %v\nspec: %s", err, doc)
+		}
+	})
+}

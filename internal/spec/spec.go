@@ -1,0 +1,378 @@
+// Package spec defines the JSON network specification consumed by the
+// command-line tools: nodes, links with physical-layer parameters, the
+// communication schedule (explicit or policy-generated), and analysis
+// settings. It is the on-disk counterpart of the paper's "fully specified
+// network" from which the tool derives the underlying model automatically.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"wirelesshart/internal/channel"
+	"wirelesshart/internal/core"
+	"wirelesshart/internal/link"
+	"wirelesshart/internal/schedule"
+	"wirelesshart/internal/topology"
+)
+
+// Node declares a network node.
+type Node struct {
+	// Name is the unique node name ("G", "n1", ...).
+	Name string `json:"name"`
+	// Kind is "gateway" or "field-device" (default).
+	Kind string `json:"kind,omitempty"`
+}
+
+// Link declares a bidirectional link with its physical parameters. The
+// failure probability is derived from the first field set, in priority
+// order: PFl, BER, EbN0, Availability; otherwise the network default
+// applies.
+type Link struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// PFl is the per-slot message failure probability.
+	PFl *float64 `json:"pfl,omitempty"`
+	// BER is the bit error rate (with MessageBits giving p_fl).
+	BER *float64 `json:"ber,omitempty"`
+	// EbN0 is the linear per-bit SNR (OQPSK BER curve).
+	EbN0 *float64 `json:"ebN0,omitempty"`
+	// Availability is the stationary pi(up).
+	Availability *float64 `json:"availability,omitempty"`
+	// PRc overrides the recovery probability (default 0.9).
+	PRc *float64 `json:"prc,omitempty"`
+	// Failure injects a link failure for analysis (paper Section VI-C).
+	Failure *Failure `json:"failure,omitempty"`
+}
+
+// Failure describes an injected link failure.
+type Failure struct {
+	// Kind is "permanent" or "window".
+	Kind string `json:"kind"`
+	// FromSlot and ToSlot bound a "window" failure: the link is DOWN
+	// during uplink slots [FromSlot, ToSlot) of each reporting interval.
+	FromSlot int `json:"fromSlot,omitempty"`
+	ToSlot   int `json:"toSlot,omitempty"`
+}
+
+// Transmission is one explicit schedule entry.
+type Transmission struct {
+	Slot   int    `json:"slot"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Source string `json:"source"`
+}
+
+// Schedule declares the communication schedule, either explicitly (Fup +
+// Slots) or via a builder policy ("shortest-first" or "longest-first") with
+// optional idle padding.
+type Schedule struct {
+	Fup       int            `json:"fup,omitempty"`
+	Slots     []Transmission `json:"slots,omitempty"`
+	Policy    string         `json:"policy,omitempty"`
+	ExtraIdle int            `json:"extraIdle,omitempty"`
+	// Priority fixes the exact allocation order by source name,
+	// overriding Policy (e.g. the paper's eta_b order).
+	Priority []string `json:"priority,omitempty"`
+	// Channels enables multi-channel (TDMA+FDMA) scheduling for
+	// policy-generated schedules (default 1).
+	Channels int `json:"channels,omitempty"`
+}
+
+// Spec is a fully specified network analysis input.
+type Spec struct {
+	Nodes             []Node   `json:"nodes"`
+	Links             []Link   `json:"links"`
+	Schedule          Schedule `json:"schedule"`
+	ReportingInterval int      `json:"reportingInterval,omitempty"`
+	TTL               int      `json:"ttl,omitempty"`
+	Fdown             int      `json:"fdown,omitempty"`
+	// MessageBits is the message length for BER-derived failure
+	// probabilities (default 1016, the 127-byte payload).
+	MessageBits int `json:"messageBits,omitempty"`
+	// DefaultBER parameterizes links without explicit physical fields
+	// (default 2e-4, the paper's pi(up) = 0.8304).
+	DefaultBER *float64 `json:"defaultBer,omitempty"`
+	// Sources optionally restricts which field devices report; the rest
+	// act as pure relays. Default: every field device.
+	Sources []string `json:"sources,omitempty"`
+}
+
+// Parse decodes a spec from JSON, rejecting unknown fields.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: decode: %w", err)
+	}
+	return &s, nil
+}
+
+// LoadFile reads a spec from a JSON file.
+func LoadFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Write encodes the spec as indented JSON.
+func (s *Spec) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Built is the realized network ready for analysis.
+type Built struct {
+	Net      *topology.Network
+	Schedule schedule.Plan
+	Analyzer *core.Analyzer
+	// Sources are the field devices in declaration order.
+	Sources []topology.NodeID
+	// LinkModels maps link ids to their effective models.
+	LinkModels map[topology.LinkID]link.Model
+	// Failures maps link ids to their declared failure injections.
+	Failures map[topology.LinkID]Failure
+}
+
+// Build validates the spec and constructs the network, schedule and
+// analyzer.
+func (s *Spec) Build() (*Built, error) {
+	if len(s.Nodes) == 0 {
+		return nil, errors.New("spec: no nodes")
+	}
+	bits := s.MessageBits
+	if bits == 0 {
+		bits = channel.DefaultMessageBits
+	}
+	net := topology.NewNetwork()
+	ids := map[string]topology.NodeID{}
+	var sources []topology.NodeID
+	for _, n := range s.Nodes {
+		kind := topology.FieldDevice
+		switch n.Kind {
+		case "", "field-device":
+		case "gateway":
+			kind = topology.Gateway
+		default:
+			return nil, fmt.Errorf("spec: node %q has unknown kind %q", n.Name, n.Kind)
+		}
+		id, err := net.AddNode(n.Name, kind)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		ids[n.Name] = id
+		if kind == topology.FieldDevice {
+			sources = append(sources, id)
+		}
+	}
+
+	linkModels := map[topology.LinkID]link.Model{}
+	injections := map[topology.LinkID]link.Availability{}
+	failures := map[topology.LinkID]Failure{}
+	for i, l := range s.Links {
+		a, okA := ids[l.A]
+		b, okB := ids[l.B]
+		if !okA || !okB {
+			return nil, fmt.Errorf("spec: link %d references unknown node (%q-%q)", i, l.A, l.B)
+		}
+		lid, err := net.AddLink(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		m, err := s.linkModel(l, bits)
+		if err != nil {
+			return nil, fmt.Errorf("spec: link %q-%q: %w", l.A, l.B, err)
+		}
+		linkModels[lid] = m
+		if l.Failure != nil {
+			av, err := failureAvailability(m, l.Failure)
+			if err != nil {
+				return nil, fmt.Errorf("spec: link %q-%q: %w", l.A, l.B, err)
+			}
+			injections[lid] = av
+			failures[lid] = *l.Failure
+		}
+	}
+
+	sched, err := s.buildSchedule(net, ids)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := []core.Option{}
+	if len(s.Sources) > 0 {
+		var srcIDs []topology.NodeID
+		for _, name := range s.Sources {
+			id, ok := ids[name]
+			if !ok {
+				return nil, fmt.Errorf("spec: unknown reporting source %q", name)
+			}
+			srcIDs = append(srcIDs, id)
+		}
+		opts = append(opts, core.WithSources(srcIDs...))
+	}
+	if s.ReportingInterval != 0 {
+		opts = append(opts, core.WithReportingInterval(s.ReportingInterval))
+	}
+	if s.TTL != 0 {
+		opts = append(opts, core.WithTTL(s.TTL))
+	}
+	if s.Fdown != 0 {
+		opts = append(opts, core.WithDownlinkFrame(s.Fdown))
+	}
+	def, err := s.defaultModel(bits)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, core.WithUniformLinkModel(def))
+	for lid, m := range linkModels {
+		opts = append(opts, core.WithLinkModel(lid, m))
+	}
+	for lid, av := range injections {
+		opts = append(opts, core.WithLinkAvailability(lid, av))
+	}
+	an, err := core.New(net, sched, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Built{
+		Net:        net,
+		Schedule:   sched,
+		Analyzer:   an,
+		Sources:    sources,
+		LinkModels: linkModels,
+		Failures:   failures,
+	}, nil
+}
+
+func failureAvailability(m link.Model, f *Failure) (link.Availability, error) {
+	switch f.Kind {
+	case "permanent":
+		return link.PermanentDown(), nil
+	case "window":
+		return m.DownDuring(f.FromSlot, f.ToSlot, m.Steady())
+	default:
+		return nil, fmt.Errorf("unknown failure kind %q", f.Kind)
+	}
+}
+
+func (s *Spec) defaultModel(bits int) (link.Model, error) {
+	ber := 2e-4
+	if s.DefaultBER != nil {
+		ber = *s.DefaultBER
+	}
+	return link.FromBER(ber, bits, link.DefaultRecoveryProb)
+}
+
+func (s *Spec) linkModel(l Link, bits int) (link.Model, error) {
+	prc := link.DefaultRecoveryProb
+	if l.PRc != nil {
+		prc = *l.PRc
+	}
+	switch {
+	case l.PFl != nil:
+		return link.New(*l.PFl, prc)
+	case l.BER != nil:
+		return link.FromBER(*l.BER, bits, prc)
+	case l.EbN0 != nil:
+		return link.FromEbN0(*l.EbN0, bits, prc)
+	case l.Availability != nil:
+		return link.FromAvailability(*l.Availability, prc)
+	default:
+		return s.defaultModel(bits)
+	}
+}
+
+func (s *Spec) buildSchedule(net *topology.Network, ids map[string]topology.NodeID) (schedule.Plan, error) {
+	sc := s.Schedule
+	if sc.Policy != "" && len(sc.Slots) > 0 {
+		return nil, errors.New("spec: schedule declares both a policy and explicit slots")
+	}
+	if sc.Channels != 0 && sc.Policy == "" && len(sc.Priority) == 0 {
+		return nil, errors.New("spec: channels require a generated schedule (policy or priority)")
+	}
+	if sc.Policy != "" && len(sc.Priority) > 0 {
+		return nil, errors.New("spec: schedule declares both a policy and a priority order")
+	}
+	if sc.Policy != "" || len(sc.Priority) > 0 {
+		routes, err := net.UplinkRoutes()
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		var order []topology.NodeID
+		switch {
+		case len(sc.Priority) > 0:
+			for _, name := range sc.Priority {
+				id, ok := ids[name]
+				if !ok {
+					return nil, fmt.Errorf("spec: unknown node %q in priority", name)
+				}
+				order = append(order, id)
+			}
+		case sc.Policy == "shortest-first":
+			order = schedule.ShortestFirst(routes)
+		case sc.Policy == "longest-first":
+			order = schedule.LongestFirst(routes)
+		default:
+			return nil, fmt.Errorf("spec: unknown schedule policy %q", sc.Policy)
+		}
+		if sc.Channels > 1 {
+			return schedule.BuildMultiChannel(routes, order, sc.Channels, sc.ExtraIdle)
+		}
+		return schedule.BuildPriority(routes, order, sc.ExtraIdle)
+	}
+	if sc.Fup == 0 {
+		return nil, errors.New("spec: explicit schedule requires fup")
+	}
+	out, err := schedule.New(sc.Fup)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	for i, tr := range sc.Slots {
+		from, okF := ids[tr.From]
+		to, okT := ids[tr.To]
+		src, okS := ids[tr.Source]
+		if !okF || !okT || !okS {
+			return nil, fmt.Errorf("spec: schedule entry %d references unknown node", i)
+		}
+		if err := out.SetTransmission(tr.Slot, from, to, src); err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// TypicalSpec returns the paper's Fig. 12 network as a spec with schedule
+// eta_a and the default physical parameters — a ready-made input for the
+// CLI tools.
+func TypicalSpec() *Spec {
+	s := &Spec{
+		Nodes: []Node{{Name: "G", Kind: "gateway"}},
+		Schedule: Schedule{
+			Policy:    "shortest-first",
+			ExtraIdle: 1,
+		},
+		ReportingInterval: 4,
+	}
+	for i := 1; i <= 10; i++ {
+		s.Nodes = append(s.Nodes, Node{Name: fmt.Sprintf("n%d", i)})
+	}
+	edges := [][2]string{
+		{"n1", "G"}, {"n2", "G"}, {"n3", "G"},
+		{"n4", "n1"}, {"n5", "n1"}, {"n6", "n2"},
+		{"n7", "n3"}, {"n8", "n3"},
+		{"n9", "n6"}, {"n10", "n7"},
+	}
+	for _, e := range edges {
+		s.Links = append(s.Links, Link{A: e[0], B: e[1]})
+	}
+	return s
+}

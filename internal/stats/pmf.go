@@ -1,0 +1,168 @@
+// Package stats provides the probability and statistics helpers shared by
+// the analytical model and the discrete-event simulator: discrete PMFs over
+// arbitrary support points, summary statistics with confidence intervals,
+// and the geometric / negative-binomial distributions that arise in
+// WirelessHART path analysis.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PMF is a probability mass function over float64 support points. The zero
+// value is an empty PMF ready for use.
+type PMF struct {
+	points map[float64]float64
+}
+
+// NewPMF returns an empty PMF.
+func NewPMF() *PMF { return &PMF{points: map[float64]float64{}} }
+
+// Set assigns probability p to support point x, replacing any prior value.
+func (m *PMF) Set(x, p float64) {
+	if m.points == nil {
+		m.points = map[float64]float64{}
+	}
+	m.points[x] = p
+}
+
+// Add accumulates probability p onto support point x.
+func (m *PMF) Add(x, p float64) {
+	if m.points == nil {
+		m.points = map[float64]float64{}
+	}
+	m.points[x] += p
+}
+
+// Prob returns the probability at support point x (zero if absent).
+func (m *PMF) Prob(x float64) float64 { return m.points[x] }
+
+// Len returns the number of support points.
+func (m *PMF) Len() int { return len(m.points) }
+
+// Support returns the support points in ascending order.
+func (m *PMF) Support() []float64 {
+	out := make([]float64, 0, len(m.points))
+	for x := range m.points {
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Total returns the total probability mass.
+func (m *PMF) Total() float64 {
+	var s float64
+	for _, p := range m.points {
+		s += p
+	}
+	return s
+}
+
+// Mean returns the expectation of the PMF. For a sub-distribution (total
+// mass < 1), the mean is taken with respect to the stored mass without
+// renormalizing.
+func (m *PMF) Mean() float64 {
+	var s float64
+	for x, p := range m.points {
+		s += x * p
+	}
+	return s
+}
+
+// Variance returns the variance of the PMF around its mean, treating the
+// stored mass as-is (callers wanting the conditional variance of a
+// sub-distribution should Normalize first).
+func (m *PMF) Variance() float64 {
+	mean := m.Mean()
+	var s float64
+	for x, p := range m.points {
+		d := x - mean
+		s += d * d * p
+	}
+	return s
+}
+
+// StdDev returns the standard deviation of the PMF.
+func (m *PMF) StdDev() float64 {
+	v := m.Variance()
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// Normalized returns a copy scaled to total mass one. It returns an error
+// if the PMF has no mass.
+func (m *PMF) Normalized() (*PMF, error) {
+	tot := m.Total()
+	if tot <= 0 {
+		return nil, errors.New("stats: cannot normalize PMF with no mass")
+	}
+	out := NewPMF()
+	for x, p := range m.points {
+		out.points[x] = p / tot
+	}
+	return out, nil
+}
+
+// Scale returns a copy with every probability multiplied by alpha.
+func (m *PMF) Scale(alpha float64) *PMF {
+	out := NewPMF()
+	for x, p := range m.points {
+		out.points[x] = p * alpha
+	}
+	return out
+}
+
+// Merge adds all mass from other into m (in place).
+func (m *PMF) Merge(other *PMF) {
+	if other == nil {
+		return
+	}
+	for x, p := range other.points {
+		m.Add(x, p)
+	}
+}
+
+// CDFAt returns the cumulative probability P[X <= x].
+func (m *PMF) CDFAt(x float64) float64 {
+	var s float64
+	for pt, p := range m.points {
+		if pt <= x {
+			s += p
+		}
+	}
+	return s
+}
+
+// Quantile returns the smallest support point q with CDF(q) >= level. It
+// returns an error for an empty PMF or a level above the total mass.
+func (m *PMF) Quantile(level float64) (float64, error) {
+	if m.Len() == 0 {
+		return 0, errors.New("stats: quantile of empty PMF")
+	}
+	var cum float64
+	for _, x := range m.Support() {
+		cum += m.points[x]
+		if cum >= level-1e-12 {
+			return x, nil
+		}
+	}
+	return 0, fmt.Errorf("stats: quantile level %v above total mass %v", level, m.Total())
+}
+
+// String renders the PMF as "x:p" pairs in support order.
+func (m *PMF) String() string {
+	s := ""
+	for i, x := range m.Support() {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%g:%.6g", x, m.points[x])
+	}
+	return s
+}

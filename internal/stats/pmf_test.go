@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPMFZeroValue(t *testing.T) {
+	var m PMF
+	m.Add(1, 0.5)
+	m.Set(2, 0.5)
+	if m.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", m.Len())
+	}
+	if m.Prob(1) != 0.5 {
+		t.Errorf("Prob(1) = %v, want 0.5", m.Prob(1))
+	}
+	if m.Prob(99) != 0 {
+		t.Errorf("Prob(99) = %v, want 0", m.Prob(99))
+	}
+}
+
+func TestPMFAddAccumulates(t *testing.T) {
+	m := NewPMF()
+	m.Add(70, 0.2)
+	m.Add(70, 0.3)
+	if math.Abs(m.Prob(70)-0.5) > 1e-15 {
+		t.Errorf("Prob(70) = %v, want 0.5", m.Prob(70))
+	}
+	m.Set(70, 0.1)
+	if m.Prob(70) != 0.1 {
+		t.Errorf("Set should replace: Prob(70) = %v", m.Prob(70))
+	}
+}
+
+func TestPMFSupportSorted(t *testing.T) {
+	m := NewPMF()
+	for _, x := range []float64{490, 70, 210, 350} {
+		m.Add(x, 0.25)
+	}
+	sup := m.Support()
+	want := []float64{70, 210, 350, 490}
+	for i, x := range want {
+		if sup[i] != x {
+			t.Errorf("Support()[%d] = %v, want %v", i, sup[i], x)
+		}
+	}
+}
+
+func TestPMFMeanAndTotal(t *testing.T) {
+	// Example path delay distribution of Section V-A (unnormalized cycle
+	// probabilities): mean of the normalized PMF must be 190.8 ms.
+	m := NewPMF()
+	m.Add(70, 0.4219)
+	m.Add(210, 0.3164)
+	m.Add(350, 0.1582)
+	m.Add(490, 0.06592)
+	if math.Abs(m.Total()-0.96242) > 1e-5 {
+		t.Errorf("Total() = %v, want 0.96242", m.Total())
+	}
+	norm, err := m.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized() error: %v", err)
+	}
+	if math.Abs(norm.Mean()-190.8) > 0.1 {
+		t.Errorf("normalized Mean() = %v, want ~190.8", norm.Mean())
+	}
+}
+
+func TestPMFVarianceStdDev(t *testing.T) {
+	m := NewPMF()
+	m.Add(0, 0.5)
+	m.Add(10, 0.5)
+	if got := m.Variance(); math.Abs(got-25) > 1e-12 {
+		t.Errorf("Variance() = %v, want 25", got)
+	}
+	if got := m.StdDev(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("StdDev() = %v, want 5", got)
+	}
+	point := NewPMF()
+	point.Add(7, 1)
+	if point.Variance() != 0 || point.StdDev() != 0 {
+		t.Error("point mass should have zero variance")
+	}
+	if NewPMF().StdDev() != 0 {
+		t.Error("empty PMF StdDev should be 0")
+	}
+}
+
+func TestPMFNormalizedEmpty(t *testing.T) {
+	if _, err := NewPMF().Normalized(); err == nil {
+		t.Error("Normalized() of empty PMF should error")
+	}
+}
+
+func TestPMFScaleMerge(t *testing.T) {
+	a := NewPMF()
+	a.Add(1, 0.5)
+	b := a.Scale(0.5)
+	if b.Prob(1) != 0.25 {
+		t.Errorf("Scale: Prob(1) = %v, want 0.25", b.Prob(1))
+	}
+	if a.Prob(1) != 0.5 {
+		t.Error("Scale should not modify the receiver")
+	}
+	a.Merge(b)
+	if a.Prob(1) != 0.75 {
+		t.Errorf("Merge: Prob(1) = %v, want 0.75", a.Prob(1))
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestPMFCDFQuantile(t *testing.T) {
+	m := NewPMF()
+	m.Add(70, 0.5)
+	m.Add(210, 0.3)
+	m.Add(350, 0.2)
+	if got := m.CDFAt(210); math.Abs(got-0.8) > 1e-15 {
+		t.Errorf("CDFAt(210) = %v, want 0.8", got)
+	}
+	if got := m.CDFAt(0); got != 0 {
+		t.Errorf("CDFAt(0) = %v, want 0", got)
+	}
+	q, err := m.Quantile(0.8)
+	if err != nil || q != 210 {
+		t.Errorf("Quantile(0.8) = %v, %v, want 210", q, err)
+	}
+	q, err = m.Quantile(0.81)
+	if err != nil || q != 350 {
+		t.Errorf("Quantile(0.81) = %v, %v, want 350", q, err)
+	}
+	if _, err := NewPMF().Quantile(0.5); err == nil {
+		t.Error("Quantile of empty PMF should error")
+	}
+	if _, err := m.Quantile(2); err == nil {
+		t.Error("Quantile above total mass should error")
+	}
+}
+
+func TestPMFString(t *testing.T) {
+	m := NewPMF()
+	m.Add(1, 0.5)
+	m.Add(2, 0.5)
+	if got := m.String(); got != "1:0.5 2:0.5" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPMFNormalizedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		m := NewPMF()
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			m.Add(float64(i), math.Abs(math.Mod(x, 1))+0.001)
+		}
+		if m.Len() == 0 {
+			return true
+		}
+		n, err := m.Normalized()
+		if err != nil {
+			return false
+		}
+		return math.Abs(n.Total()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

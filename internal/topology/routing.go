@@ -1,0 +1,196 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Path is an uplink route: a sequence of node ids from the source to the
+// gateway (inclusive), following existing links.
+type Path struct {
+	nodes []NodeID
+	links []LinkID
+}
+
+// NewPath validates that consecutive nodes are linked in the network and
+// returns the path. A path needs at least two nodes (source and gateway).
+func NewPath(n *Network, nodes []NodeID) (Path, error) {
+	if len(nodes) < 2 {
+		return Path{}, errors.New("topology: path needs at least source and destination")
+	}
+	links := make([]LinkID, 0, len(nodes)-1)
+	seen := map[NodeID]bool{}
+	for i, id := range nodes {
+		if !n.validNode(id) {
+			return Path{}, fmt.Errorf("topology: path node %d not in network", id)
+		}
+		if seen[id] {
+			return Path{}, fmt.Errorf("topology: path revisits node %d", id)
+		}
+		seen[id] = true
+		if i == 0 {
+			continue
+		}
+		l, ok := n.LinkBetween(nodes[i-1], id)
+		if !ok {
+			return Path{}, fmt.Errorf("topology: no link between %d and %d", nodes[i-1], id)
+		}
+		links = append(links, l.ID)
+	}
+	out := Path{nodes: append([]NodeID(nil), nodes...), links: links}
+	return out, nil
+}
+
+// Nodes returns the node sequence (copy).
+func (p Path) Nodes() []NodeID {
+	out := make([]NodeID, len(p.nodes))
+	copy(out, p.nodes)
+	return out
+}
+
+// Links returns the traversed link ids in hop order (copy).
+func (p Path) Links() []LinkID {
+	out := make([]LinkID, len(p.links))
+	copy(out, p.links)
+	return out
+}
+
+// Hops returns the number of hops (links) on the path.
+func (p Path) Hops() int { return len(p.links) }
+
+// Source returns the first node.
+func (p Path) Source() NodeID { return p.nodes[0] }
+
+// Destination returns the last node.
+func (p Path) Destination() NodeID { return p.nodes[len(p.nodes)-1] }
+
+// UsesLink reports whether the path traverses the given link.
+func (p Path) UsesLink(id LinkID) bool {
+	for _, l := range p.links {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the path as "n1 -> n2 -> G" using node ids.
+func (p Path) String() string {
+	parts := make([]string, len(p.nodes))
+	for i, id := range p.nodes {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Format renders the path with node names from the network.
+func (p Path) Format(n *Network) string {
+	parts := make([]string, len(p.nodes))
+	for i, id := range p.nodes {
+		node, err := n.Node(id)
+		if err != nil {
+			parts[i] = fmt.Sprintf("?%d", id)
+			continue
+		}
+		parts[i] = node.Name
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Compose joins a peer path (ending at this path's source) with this path,
+// forming the composed route of paper Section V-D (Fig. 11). The joint
+// node is not duplicated.
+func (p Path) Compose(n *Network, peer Path) (Path, error) {
+	if peer.Destination() != p.Source() {
+		return Path{}, fmt.Errorf("topology: peer path ends at %d, existing path starts at %d",
+			peer.Destination(), p.Source())
+	}
+	nodes := append(peer.Nodes(), p.nodes[1:]...)
+	return NewPath(n, nodes)
+}
+
+// UplinkRoutes computes the uplink graph routes: for every field device,
+// the BFS shortest path to the gateway, breaking ties by the lowest
+// neighbor id (the network manager's deterministic choice). It returns the
+// paths keyed by source node id. Unreachable nodes produce an error.
+func (n *Network) UplinkRoutes() (map[NodeID]Path, error) {
+	gw, err := n.Gateway()
+	if err != nil {
+		return nil, err
+	}
+	// BFS from the gateway; parent[v] is v's next hop toward the gateway.
+	parent := map[NodeID]NodeID{gw: gw}
+	queue := []NodeID{gw}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range n.Neighbors(v) { // sorted: lowest id first
+			if _, ok := parent[w]; ok {
+				continue
+			}
+			parent[w] = v
+			queue = append(queue, w)
+		}
+	}
+	routes := map[NodeID]Path{}
+	for _, node := range n.nodes {
+		if node.Kind == Gateway {
+			continue
+		}
+		if _, ok := parent[node.ID]; !ok {
+			return nil, fmt.Errorf("topology: node %q cannot reach the gateway", node.Name)
+		}
+		var seq []NodeID
+		for v := node.ID; ; v = parent[v] {
+			seq = append(seq, v)
+			if v == gw {
+				break
+			}
+		}
+		p, err := NewPath(n, seq)
+		if err != nil {
+			return nil, err
+		}
+		routes[node.ID] = p
+	}
+	return routes, nil
+}
+
+// PathsSharedByLink returns the source ids of all routes that traverse the
+// link, sorted ascending — e.g. the paper's observation that link e3 (n3-G)
+// is shared by paths 3, 7, 8 and 10.
+func PathsSharedByLink(routes map[NodeID]Path, id LinkID) []NodeID {
+	var out []NodeID
+	for src, p := range routes {
+		if p.UsesLink(id) {
+			out = append(out, src)
+		}
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// MaxHops is the official guideline's limit on the distance from any node
+// to the gateway (paper Section V-C).
+const MaxHops = 4
+
+// CheckHopLimit verifies that every route respects the WirelessHART
+// guideline of at most MaxHops hops.
+func CheckHopLimit(routes map[NodeID]Path) error {
+	for src, p := range routes {
+		if p.Hops() > MaxHops {
+			return fmt.Errorf("topology: route from node %d has %d hops, guideline max is %d",
+				src, p.Hops(), MaxHops)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildTriangle(t *testing.T) (*Network, NodeID, NodeID, NodeID) {
+	t.Helper()
+	n := NewNetwork()
+	gw, err := n.AddNode("G", Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.AddNode("a", FieldDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddNode("b", FieldDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]NodeID{{a, gw}, {b, a}} {
+		if _, err := n.AddLink(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n, gw, a, b
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.AddNode("", FieldDevice); err == nil {
+		t.Error("empty name should error")
+	}
+	if _, err := n.AddNode("x", NodeKind(9)); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, err := n.AddNode("x", FieldDevice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddNode("x", FieldDevice); err == nil {
+		t.Error("duplicate name should error")
+	}
+	if _, err := n.AddNode("g1", Gateway); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddNode("g2", Gateway); err == nil {
+		t.Error("second gateway should error")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.AddNode("a", FieldDevice)
+	b, _ := n.AddNode("b", FieldDevice)
+	if _, err := n.AddLink(a, a); err == nil {
+		t.Error("self-loop should error")
+	}
+	if _, err := n.AddLink(a, 99); err == nil {
+		t.Error("unknown endpoint should error")
+	}
+	if _, err := n.AddLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddLink(b, a); err == nil {
+		t.Error("duplicate link (reversed) should error")
+	}
+}
+
+func TestNodeLookups(t *testing.T) {
+	n, gw, a, _ := buildTriangle(t)
+	node, err := n.Node(a)
+	if err != nil || node.Name != "a" {
+		t.Errorf("Node(a) = %+v, %v", node, err)
+	}
+	if _, err := n.Node(99); err == nil {
+		t.Error("unknown node should error")
+	}
+	got, ok := n.NodeByName("G")
+	if !ok || got.ID != gw || got.Kind != Gateway {
+		t.Errorf("NodeByName(G) = %+v, %v", got, ok)
+	}
+	if _, ok := n.NodeByName("zzz"); ok {
+		t.Error("unknown name should report false")
+	}
+	g, err := n.Gateway()
+	if err != nil || g != gw {
+		t.Errorf("Gateway() = %v, %v", g, err)
+	}
+	if _, err := NewNetwork().Gateway(); err == nil {
+		t.Error("gatewayless network should error")
+	}
+}
+
+func TestLinkBetweenAndOther(t *testing.T) {
+	n, gw, a, b := buildTriangle(t)
+	l, ok := n.LinkBetween(gw, a)
+	if !ok {
+		t.Fatal("LinkBetween(gw, a) not found")
+	}
+	if other, ok := l.Other(gw); !ok || other != a {
+		t.Errorf("Other(gw) = %v, %v", other, ok)
+	}
+	if other, ok := l.Other(a); !ok || other != gw {
+		t.Errorf("Other(a) = %v, %v", other, ok)
+	}
+	if _, ok := l.Other(b); ok {
+		t.Error("Other(non-endpoint) should report false")
+	}
+	if _, ok := n.LinkBetween(gw, b); ok {
+		t.Error("LinkBetween(gw, b) should not exist")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	n := NewNetwork()
+	gw, _ := n.AddNode("G", Gateway)
+	var ids []NodeID
+	for _, name := range []string{"c", "a", "b"} {
+		id, _ := n.AddNode(name, FieldDevice)
+		ids = append(ids, id)
+	}
+	// Add links in a scrambled order.
+	for _, id := range []NodeID{ids[2], ids[0], ids[1]} {
+		if _, err := n.AddLink(gw, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := n.Neighbors(gw)
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Errorf("Neighbors not sorted: %v", got)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("Neighbors(gw) = %v, want 3 entries", got)
+	}
+}
+
+func TestNodesLinksCopies(t *testing.T) {
+	n, _, _, _ := buildTriangle(t)
+	nodes := n.Nodes()
+	nodes[0].Name = "mutated"
+	if n.nodes[0].Name == "mutated" {
+		t.Error("Nodes() must return a copy")
+	}
+	links := n.Links()
+	links[0].A = 99
+	if n.links[0].A == 99 {
+		t.Error("Links() must return a copy")
+	}
+	if n.NumNodes() != 3 || n.NumLinks() != 2 {
+		t.Errorf("counts = %d nodes, %d links", n.NumNodes(), n.NumLinks())
+	}
+}
+
+func TestWriteDOTConnectivity(t *testing.T) {
+	n, _, err := TypicalNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := n.WriteDOT(&b, "fig12"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"graph \"fig12\"", "doublecircle", "n10", "--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// 11 node declarations and 10 undirected edges.
+	if got := strings.Count(out, "--"); got != 10 {
+		t.Errorf("edges = %d, want 10", got)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if FieldDevice.String() != "field-device" || Gateway.String() != "gateway" {
+		t.Error("kind names wrong")
+	}
+	if NodeKind(7).String() != "NodeKind(7)" {
+		t.Errorf("unknown kind = %q", NodeKind(7).String())
+	}
+}

@@ -1,0 +1,117 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TypicalNetwork builds the paper's Fig. 12 plant network: ten field
+// devices and a gateway, with 30% of nodes one hop away (n1, n2, n3), 50%
+// two hops (n4, n5 via n1; n6 via n2; n7, n8 via n3) and 20% three hops
+// (n9 via n6, n10 via n7). It returns the network and the ten source nodes
+// in the paper's path order (paths 1..10).
+func TypicalNetwork() (*Network, []NodeID, error) {
+	n := NewNetwork()
+	gw, err := n.AddNode("G", Gateway)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]NodeID, 11) // ids[1..10] are n1..n10
+	for i := 1; i <= 10; i++ {
+		id, err := n.AddNode(fmt.Sprintf("n%d", i), FieldDevice)
+		if err != nil {
+			return nil, nil, err
+		}
+		ids[i] = id
+	}
+	type edge struct{ a, b NodeID }
+	edges := []edge{
+		{a: ids[1], b: gw},
+		{a: ids[2], b: gw},
+		{a: ids[3], b: gw},
+		{a: ids[4], b: ids[1]},
+		{a: ids[5], b: ids[1]},
+		{a: ids[6], b: ids[2]},
+		{a: ids[7], b: ids[3]},
+		{a: ids[8], b: ids[3]},
+		{a: ids[9], b: ids[6]},
+		{a: ids[10], b: ids[7]},
+	}
+	for _, e := range edges {
+		if _, err := n.AddLink(e.a, e.b); err != nil {
+			return nil, nil, err
+		}
+	}
+	sources := make([]NodeID, 10)
+	copy(sources, ids[1:])
+	return n, sources, nil
+}
+
+// RandomPlantNetwork generates a mesh following the HART Communication
+// Foundation's plant statistics (paper Section VI-A): about 30% of nodes
+// one hop from the gateway, 50% two hops, and 20% three hops, each
+// multi-hop node attaching to a uniformly random node in the previous
+// tier. It returns the network and the field-device ids in creation order.
+func RandomPlantNetwork(nodes int, rng *rand.Rand) (*Network, []NodeID, error) {
+	if nodes < 3 {
+		return nil, nil, fmt.Errorf("topology: plant network needs at least 3 nodes, got %d", nodes)
+	}
+	if rng == nil {
+		return nil, nil, fmt.Errorf("topology: plant network requires a random source")
+	}
+	n := NewNetwork()
+	gw, err := n.AddNode("G", Gateway)
+	if err != nil {
+		return nil, nil, err
+	}
+	tier1 := maxInt(1, int(float64(nodes)*0.3+0.5))
+	tier2 := maxInt(1, int(float64(nodes)*0.5+0.5))
+	if tier1+tier2 > nodes {
+		tier2 = nodes - tier1
+	}
+	tier3 := nodes - tier1 - tier2
+
+	var all, prev, cur []NodeID
+	addTier := func(count int, attach []NodeID) error {
+		cur = cur[:0]
+		for i := 0; i < count; i++ {
+			id, err := n.AddNode(fmt.Sprintf("n%d", len(all)+1), FieldDevice)
+			if err != nil {
+				return err
+			}
+			var target NodeID
+			if attach == nil {
+				target = gw
+			} else {
+				target = attach[rng.Intn(len(attach))]
+			}
+			if _, err := n.AddLink(id, target); err != nil {
+				return err
+			}
+			all = append(all, id)
+			cur = append(cur, id)
+		}
+		return nil
+	}
+	if err := addTier(tier1, nil); err != nil {
+		return nil, nil, err
+	}
+	prev = append(prev[:0], cur...)
+	if err := addTier(tier2, prev); err != nil {
+		return nil, nil, err
+	}
+	if tier3 > 0 {
+		prev = append(prev[:0], cur...)
+		if err := addTier(tier3, prev); err != nil {
+			return nil, nil, err
+		}
+	}
+	return n, all, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
