@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./
+
+clean:
+	$(GO) clean ./...

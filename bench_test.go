@@ -9,10 +9,14 @@ package wirelesshart
 // The reported ns/op measures the full regeneration cost of each artifact.
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 
+	"wirelesshart/internal/engine"
 	"wirelesshart/internal/experiments"
+	"wirelesshart/internal/spec"
 )
 
 func benchErr(b *testing.B, err error) {
@@ -271,5 +275,58 @@ func BenchmarkPredictAttachment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, err := n.PredictAttachment("n4", 7)
 		benchErr(b, err)
+	}
+}
+
+// Evaluation-engine benches: the cost of a cold DTMC solve versus a cache
+// hit versus eight goroutines racing on the same scenario (single-flight).
+// The cache-hit path must come in at least an order of magnitude under the
+// cold solve.
+
+func BenchmarkEngineColdSolve(b *testing.B) {
+	ctx := context.Background()
+	s := spec.TypicalSpec()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Config{})
+		_, err := eng.Evaluate(ctx, s)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkEngineCacheHit(b *testing.B) {
+	ctx := context.Background()
+	s := spec.TypicalSpec()
+	eng := engine.New(engine.Config{})
+	_, err := eng.Evaluate(ctx, s)
+	benchErr(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := eng.Evaluate(ctx, s)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkEngineSingleFlight8(b *testing.B) {
+	const goroutines = 8
+	ctx := context.Background()
+	s := spec.TypicalSpec()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Config{})
+		errs := make([]error, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				_, errs[g] = eng.Evaluate(ctx, s)
+			}(g)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			benchErr(b, err)
+		}
+		if solves := eng.Metrics().Solves(); solves != 1 {
+			b.Fatalf("%d solves, want 1", solves)
+		}
 	}
 }

@@ -1,0 +1,107 @@
+// Command whart-server exposes the WirelessHART evaluation engine over
+// HTTP. It solves scenario specs posted to /v1/evaluate, /v1/network and
+// /v1/predict, caching solved scenarios in a bounded LRU and collapsing
+// concurrent identical queries into a single DTMC solve.
+//
+// Usage:
+//
+//	whart-server [-addr :8080] [-workers N] [-cache N] [-timeout 30s]
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wirelesshart/internal/engine"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		log.Fatalf("whart-server: %v", err)
+	}
+
+	logger := log.New(os.Stderr, "whart-server: ", log.LstdFlags)
+	eng := engine.New(engine.Config{Workers: cfg.workers, CacheSize: cfg.cache})
+	logger.Printf("listening on %s (workers=%d cache=%d timeout=%s)",
+		ln.Addr(), eng.MetricsSnapshot().Workers, eng.MetricsSnapshot().CacheCap, cfg.timeout)
+	if err := serve(ctx, ln, engine.NewHandler(eng, cfg.timeout), logger); err != nil {
+		log.Fatalf("whart-server: %v", err)
+	}
+}
+
+type config struct {
+	addr    string
+	workers int
+	cache   int
+	timeout time.Duration
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("whart-server", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "max concurrent DTMC solves (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.cache, "cache", 0, "scenario cache capacity (0 = default 256)")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request evaluation timeout (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.workers < 0 || cfg.cache < 0 || cfg.timeout < 0 {
+		return config{}, errors.New("workers, cache and timeout must be non-negative")
+	}
+	return cfg, nil
+}
+
+// serve runs handler on ln until ctx is canceled, then drains in-flight
+// requests for up to 10 seconds. It owns and closes the listener.
+func serve(ctx context.Context, ln net.Listener, handler http.Handler, logger *log.Logger) error {
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

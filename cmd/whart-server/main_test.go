@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"wirelesshart/internal/engine"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-workers", "2", "-cache", "8", "-timeout", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:9999" || cfg.workers != 2 || cfg.cache != 8 || cfg.timeout != 5*time.Second {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	for _, args := range [][]string{
+		{"-workers", "-1"},
+		{"-cache", "-5"},
+		{"-timeout", "-1s"},
+		{"stray-arg"},
+		{"-no-such-flag"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted, want error", args)
+		}
+	}
+}
+
+// TestServeLifecycle starts the server on an ephemeral port, checks it
+// answers, then cancels the context and expects a clean drain.
+func TestServeLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := engine.New(engine.Config{})
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, ln, engine.NewHandler(eng, 10*time.Second), log.New(io.Discard, "", 0))
+	}()
+
+	url := "http://" + ln.Addr().String() + "/healthz"
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get(url)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Errorf("status %q, want ok", body.Status)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve returned %v, want nil on graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after context cancellation")
+	}
+}

@@ -9,7 +9,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"wirelesshart"
 )
@@ -40,39 +39,30 @@ func main() {
 		{via: "n3", ebN0: 4},  // short path, poor link
 	}
 
-	type outcome struct {
-		candidate
-		pred *wirelesshart.Prediction
-	}
-	var outcomes []outcome
+	ebN0s := make(map[string]float64, len(candidates))
+	var preds []*wirelesshart.Prediction
 	for _, c := range candidates {
 		pred, err := net.PredictAttachment(c.via, c.ebN0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		outcomes = append(outcomes, outcome{candidate: c, pred: pred})
+		ebN0s[pred.Via] = c.ebN0
+		preds = append(preds, pred)
 	}
 
 	fmt.Println("attachment candidates for the joining node:")
-	for _, o := range outcomes {
+	for _, p := range preds {
 		fmt.Printf("  via %-4s (Eb/N0=%4.1f, composed %d hops): gc=%v  R=%.4f\n",
-			o.via, o.ebN0, o.pred.Hops, fmtCycles(o.pred.CycleProbs), o.pred.Reachability)
+			p.Via, ebN0s[p.Via], p.Hops, fmtCycles(p.CycleProbs), p.Reachability)
 	}
 
 	// Rank: reachability first, then fewer hops (shorter expected delay:
 	// each extra hop costs one more schedule slot, ~10 ms).
-	sort.SliceStable(outcomes, func(i, j int) bool {
-		const tieTolerance = 5e-4 // reachabilities within 0.05% are a tie
-		ri, rj := outcomes[i].pred.Reachability, outcomes[j].pred.Reachability
-		if diff := ri - rj; diff > tieTolerance || diff < -tieTolerance {
-			return ri > rj
-		}
-		return outcomes[i].pred.Hops < outcomes[j].pred.Hops
-	})
+	ranked := wirelesshart.RankPredictions(preds)
 
-	best := outcomes[0]
+	best := ranked[0]
 	fmt.Printf("\nrecommendation: attach via %s (R=%.4f, %d hops)\n",
-		best.via, best.pred.Reachability, best.pred.Hops)
+		best.Via, best.Reachability, best.Hops)
 	fmt.Println("paper's Table IV subset: alpha (via 2-hop, Eb/N0=7) vs beta (via 1-hop, Eb/N0=6)")
 	fmt.Println("  -> R_alpha ~ R_beta = 99.45%; beta wins on delay, as the paper concludes")
 }

@@ -1,0 +1,124 @@
+// Server-client starts the evaluation engine's HTTP API in-process on an
+// ephemeral port and plays both sides: it POSTs the Section VI-E
+// routing-prediction query (the routingadvisor example's Table IV
+// candidates) to /v1/predict, repeats a /v1/network evaluation to exercise
+// the scenario cache, and then reads /metrics to show the second request
+// was served without a second DTMC solve.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"wirelesshart"
+	"wirelesshart/internal/engine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("server-client: ")
+
+	// Server side: engine + HTTP handler on a loopback listener. A real
+	// deployment runs `whart-server -addr :8080` instead.
+	eng := engine.New(engine.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: engine.NewHandler(eng, 30*time.Second)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("engine API listening on %s\n\n", base)
+
+	// Client side: the scenario is the paper's typical network, exported
+	// from the fluent API via the Spec build hook.
+	net10, err := wirelesshart.Typical()
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenario, err := net10.Spec()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The joining node hears four attachment candidates (Table IV plus the
+	// two extras from examples/routingadvisor).
+	var predicted struct {
+		Key         string `json:"key"`
+		Predictions []struct {
+			Via          string  `json:"via"`
+			Hops         int     `json:"hops"`
+			Reachability float64 `json:"reachability"`
+		} `json:"predictions"`
+		Recommended string `json:"recommended"`
+	}
+	post(base+"/v1/predict", map[string]any{
+		"scenario": scenario,
+		"candidates": []map[string]any{
+			{"via": "n4", "ebN0": 7},
+			{"via": "n1", "ebN0": 6},
+			{"via": "n9", "ebN0": 12},
+			{"via": "n3", "ebN0": 4},
+		},
+	}, &predicted)
+	fmt.Printf("routing prediction (scenario %s...):\n", predicted.Key[:12])
+	for i, p := range predicted.Predictions {
+		fmt.Printf("  %d. via %-4s %d hops  R=%.4f\n", i+1, p.Via, p.Hops, p.Reachability)
+	}
+	fmt.Printf("recommended attachment: %s\n\n", predicted.Recommended)
+
+	// Evaluate the whole network twice; the second round trip must be a
+	// cache hit.
+	var result engine.Result
+	for i := 0; i < 2; i++ {
+		post(base+"/v1/network", map[string]any{"scenario": scenario}, &result)
+	}
+	fmt.Printf("network evaluation: E[Gamma]=%.2f ms  U=%.4f over %d paths\n\n",
+		result.OverallMeanDelayMS, result.Utilization, len(result.Paths))
+
+	var metrics struct {
+		Engine engine.Snapshot `json:"engine"`
+	}
+	get(base+"/metrics", &metrics)
+	fmt.Printf("metrics: %d solve(s), %d cache hit(s), %d entries cached\n",
+		metrics.Engine.Solves, metrics.Engine.CacheHits, metrics.Engine.CacheLen)
+	fmt.Printf("         p50 solve latency %.2f ms\n", metrics.Engine.SolveTime.P50MS)
+}
+
+func post(url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("%s: %s", resp.Status, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,372 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wirelesshart/internal/link"
+	"wirelesshart/internal/measures"
+	"wirelesshart/internal/pathmodel"
+	"wirelesshart/internal/spec"
+)
+
+// ErrBadScenario wraps every error caused by the caller's scenario or
+// query (invalid spec, unknown node, oversized peer path), letting HTTP
+// callers distinguish 4xx from 5xx.
+var ErrBadScenario = errors.New("engine: invalid scenario")
+
+// Config sizes an Engine.
+type Config struct {
+	// Workers bounds the number of concurrent DTMC solves. Default
+	// GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the scenario result cache (entries). Default 256.
+	CacheSize int
+}
+
+// Engine evaluates WirelessHART scenarios concurrently with caching and
+// single-flight deduplication. Create one with New; the zero value is not
+// usable.
+type Engine struct {
+	workers int
+	sem     chan struct{} // worker pool: one token per concurrent solve
+
+	mu       sync.Mutex
+	cache    *lruCache        // Key -> *Result (immutable once cached)
+	inflight map[string]*call // Key -> the solve in progress
+
+	peerMu    sync.Mutex
+	peerCache *lruCache // peer-path solves reused across predictions
+
+	metrics *Metrics
+}
+
+// call is one in-flight solve; followers wait on done.
+type call struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// New returns an engine with the given bounds.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	return &Engine{
+		workers:   cfg.Workers,
+		sem:       make(chan struct{}, cfg.Workers),
+		cache:     newLRU(cfg.CacheSize),
+		inflight:  map[string]*call{},
+		peerCache: newLRU(cfg.CacheSize),
+		metrics:   newMetrics(),
+	}
+}
+
+// DelayPoint is one support point of a delay distribution.
+type DelayPoint struct {
+	MS   float64 `json:"ms"`
+	Prob float64 `json:"prob"`
+}
+
+// PathResult holds one uplink path's solved measures.
+type PathResult struct {
+	Source          string       `json:"source"`
+	Route           []string     `json:"route"`
+	Hops            int          `json:"hops"`
+	Slots           []int        `json:"slots"`
+	Reachability    float64      `json:"reachability"`
+	CycleProbs      []float64    `json:"cycleProbs"`
+	ExpectedDelayMS float64      `json:"expectedDelayMS"`
+	Delay           []DelayPoint `json:"delay,omitempty"`
+	Utilization     float64      `json:"utilization"`
+}
+
+// Result is a solved scenario. Results are cached and shared between
+// concurrent callers: treat them as read-only.
+type Result struct {
+	// Key is the scenario's canonical cache key.
+	Key string `json:"key"`
+	// Fup is the uplink frame size of the realized schedule.
+	Fup int `json:"fup"`
+	// Is is the reporting interval in super-frames.
+	Is int `json:"is"`
+	// Schedule renders the schedule in the paper's eta notation.
+	Schedule string `json:"schedule"`
+	// Paths holds the per-source reports, sorted by source name.
+	Paths []PathResult `json:"paths"`
+	// OverallMeanDelayMS is E[Gamma] (Eq. 13); zero if nothing is delivered.
+	OverallMeanDelayMS float64 `json:"overallMeanDelayMS"`
+	// OverallDelay is the network delay distribution (Fig. 14 style).
+	OverallDelay []DelayPoint `json:"overallDelay,omitempty"`
+	// Utilization is the exact network utilization (Eq. 11).
+	Utilization float64 `json:"utilization"`
+}
+
+// Path returns the report for one source name.
+func (r *Result) Path(source string) (PathResult, bool) {
+	for _, p := range r.Paths {
+		if p.Source == source {
+			return p, true
+		}
+	}
+	return PathResult{}, false
+}
+
+// Metrics returns the engine's live counters.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// MetricsSnapshot returns a point-in-time copy of all engine metrics.
+func (e *Engine) MetricsSnapshot() Snapshot {
+	s := e.metrics.snapshot()
+	e.mu.Lock()
+	s.CacheLen = e.cache.len()
+	s.CacheCap = e.cache.cap
+	e.mu.Unlock()
+	s.Workers = e.workers
+	return s
+}
+
+// Evaluate returns the solved scenario, from the cache when possible.
+// Concurrent calls with canonically identical scenarios share one solve.
+// The returned Result is shared: treat it as read-only.
+func (e *Engine) Evaluate(ctx context.Context, s *spec.Spec) (*Result, error) {
+	key, err := Key(s)
+	if err != nil {
+		e.metrics.errors.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadScenario, err)
+	}
+	e.mu.Lock()
+	if v, ok := e.cache.get(key); ok {
+		e.mu.Unlock()
+		e.metrics.cacheHits.Add(1)
+		return v.(*Result), nil
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		e.metrics.deduped.Add(1)
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+	e.metrics.cacheMisses.Add(1)
+
+	c.res, c.err = e.solve(ctx, s, key)
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if c.err == nil {
+		e.cache.add(key, c.res)
+	}
+	e.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// solve builds and analyzes the scenario under the worker pool.
+func (e *Engine) solve(ctx context.Context, s *spec.Spec, key string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	e.metrics.inFlight.Add(1)
+	defer e.metrics.inFlight.Add(-1)
+
+	start := time.Now()
+	built, err := s.Build()
+	if err != nil {
+		e.metrics.errors.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadScenario, err)
+	}
+	na, err := built.Analyzer.Analyze()
+	if err != nil {
+		e.metrics.errors.Add(1)
+		return nil, fmt.Errorf("engine: solve: %w", err)
+	}
+	out := &Result{
+		Key:                key,
+		Fup:                built.Schedule.Fup(),
+		Is:                 built.Analyzer.Is(),
+		Schedule:           built.Schedule.Format(built.Net),
+		OverallMeanDelayMS: na.OverallMeanDelayMS,
+		Utilization:        na.UtilizationExact,
+	}
+	for _, x := range na.OverallDelay.Support() {
+		out.OverallDelay = append(out.OverallDelay, DelayPoint{MS: x, Prob: na.OverallDelay.Prob(x)})
+	}
+	for _, pa := range na.Paths {
+		src, err := built.Net.Node(pa.Source)
+		if err != nil {
+			return nil, err
+		}
+		var route []string
+		for _, id := range pa.Path.Nodes() {
+			node, err := built.Net.Node(id)
+			if err != nil {
+				return nil, err
+			}
+			route = append(route, node.Name)
+		}
+		pr := PathResult{
+			Source:          src.Name,
+			Route:           route,
+			Hops:            pa.Path.Hops(),
+			Slots:           built.Schedule.SlotsForSource(pa.Source),
+			Reachability:    pa.Reachability,
+			CycleProbs:      measures.CycleFunction(pa.Result),
+			ExpectedDelayMS: pa.ExpectedDelayMS,
+			Utilization:     pa.UtilizationExact,
+		}
+		if pa.DelayDist != nil {
+			for _, x := range pa.DelayDist.Support() {
+				pr.Delay = append(pr.Delay, DelayPoint{MS: x, Prob: pa.DelayDist.Prob(x)})
+			}
+		}
+		out.Paths = append(out.Paths, pr)
+	}
+	sort.Slice(out.Paths, func(i, j int) bool { return out.Paths[i].Source < out.Paths[j].Source })
+	e.metrics.solves.Add(1)
+	e.metrics.observeLatency(time.Since(start))
+	return out, nil
+}
+
+// Candidate is one attachment option for a joining node: the existing node
+// to attach to and the measured linear Eb/N0 of each peer-path hop, the hop
+// leaving the new node first (paper Fig. 11; a single entry is the common
+// one-hop attachment).
+type Candidate struct {
+	Via   string    `json:"via"`
+	EbN0s []float64 `json:"ebN0s"`
+}
+
+// Prediction is the outcome of a composed-path routing prediction (Eq. 12).
+type Prediction struct {
+	Via          string    `json:"via"`
+	Hops         int       `json:"hops"`
+	Reachability float64   `json:"reachability"`
+	CycleProbs   []float64 `json:"cycleProbs"`
+}
+
+// Predict evaluates the scenario (cached) and composes the candidate peer
+// path with the existing uplink path of cand.Via, reproducing the paper's
+// Section VI-E routing prediction without re-solving the network.
+func (e *Engine) Predict(ctx context.Context, s *spec.Spec, cand Candidate) (*Prediction, error) {
+	if cand.Via == "" {
+		return nil, fmt.Errorf("%w: candidate needs a via node", ErrBadScenario)
+	}
+	if len(cand.EbN0s) == 0 {
+		return nil, fmt.Errorf("%w: candidate %q needs at least one peer-hop Eb/N0", ErrBadScenario, cand.Via)
+	}
+	res, err := e.Evaluate(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	existing, ok := res.Path(cand.Via)
+	if !ok {
+		return nil, fmt.Errorf("%w: node %q is not a reporting source with an uplink path", ErrBadScenario, cand.Via)
+	}
+	if len(cand.EbN0s) >= res.Fup {
+		return nil, fmt.Errorf("%w: peer path with %d hops does not fit the %d-slot frame",
+			ErrBadScenario, len(cand.EbN0s), res.Fup)
+	}
+	peer, err := e.peerSolve(cand.EbN0s, res.Fup, res.Is, s.Bits())
+	if err != nil {
+		return nil, err
+	}
+	gc, err := measures.ComposeCycles(measures.CycleFunction(peer), existing.CycleProbs, res.Is)
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		Via:          cand.Via,
+		Hops:         existing.Hops + len(cand.EbN0s),
+		Reachability: measures.CycleReachability(gc),
+		CycleProbs:   gc,
+	}, nil
+}
+
+// PredictRanked predicts every candidate and returns them ordered
+// best-first under the paper's routing-choice rule: reachability
+// descending, ties (within measures.ComposedTieTolerance) broken by the
+// shorter composed path.
+func (e *Engine) PredictRanked(ctx context.Context, s *spec.Spec, cands []Candidate) ([]*Prediction, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: no candidates", ErrBadScenario)
+	}
+	preds := make([]*Prediction, len(cands))
+	for i, c := range cands {
+		p, err := e.Predict(ctx, s, c)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = p
+	}
+	sort.SliceStable(preds, func(i, j int) bool {
+		return measures.BetterComposed(preds[i].Reachability, preds[i].Hops,
+			preds[j].Reachability, preds[j].Hops, measures.ComposedTieTolerance)
+	})
+	return preds, nil
+}
+
+// peerSolve solves (or reuses) the DTMC of a standalone peer path scheduled
+// in the first consecutive slots of its own frame, as the paper's peer
+// paths are. Solutions are cached by (Eb/N0s, Fup, Is, bits).
+func (e *Engine) peerSolve(ebN0s []float64, fup, is, bits int) (*pathmodel.Result, error) {
+	var sb strings.Builder
+	for _, x := range ebN0s {
+		sb.WriteString(strconv.FormatFloat(x, 'b', -1, 64))
+		sb.WriteByte('|')
+	}
+	fmt.Fprintf(&sb, "%d|%d|%d", fup, is, bits)
+	key := sb.String()
+
+	e.peerMu.Lock()
+	cached, ok := e.peerCache.get(key)
+	e.peerMu.Unlock()
+	if ok {
+		return cached.(*pathmodel.Result).Clone(), nil
+	}
+
+	slots := make([]int, len(ebN0s))
+	avails := make([]link.Availability, len(ebN0s))
+	for i, x := range ebN0s {
+		m, err := link.FromEbN0(x, bits, link.DefaultRecoveryProb)
+		if err != nil {
+			return nil, fmt.Errorf("%w: peer hop %d: %v", ErrBadScenario, i+1, err)
+		}
+		slots[i] = i + 1
+		avails[i] = m.Steady()
+	}
+	m, err := pathmodel.Build(pathmodel.Config{Slots: slots, Fup: fup, Is: is, Links: avails})
+	if err != nil {
+		return nil, fmt.Errorf("%w: peer path: %v", ErrBadScenario, err)
+	}
+	res, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	e.peerMu.Lock()
+	e.peerCache.add(key, res)
+	e.peerMu.Unlock()
+	return res.Clone(), nil
+}

@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"wirelesshart/internal/spec"
+)
+
+// maxRequestBytes bounds a request body; scenario specs are small.
+const maxRequestBytes = 1 << 20
+
+// NewHandler returns the engine's HTTP API:
+//
+//	POST /v1/evaluate  {"scenario": <spec>, "source": "n10"}   one path's measures
+//	POST /v1/network   {"scenario": <spec>}                    aggregate Gamma/U over all sources
+//	POST /v1/predict   {"scenario": <spec>, "candidates": [{"via": "n4", "ebN0": 7}, ...]}
+//	GET  /healthz                                              liveness
+//	GET  /metrics                                              engine counters and latency quantiles
+//
+// Every request is bounded by timeout (zero means no limit) and a 1 MiB
+// body cap; scenario JSON is validated strictly (unknown fields rejected).
+func NewHandler(e *Engine, timeout time.Duration) http.Handler {
+	s := &apiServer{eng: e, timeout: timeout, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/v1/evaluate", s.evaluate)
+	mux.HandleFunc("/v1/network", s.network)
+	mux.HandleFunc("/v1/predict", s.predict)
+	return mux
+}
+
+type apiServer struct {
+	eng     *Engine
+	timeout time.Duration
+	started time.Time
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeEngineErr maps engine errors onto HTTP statuses: scenario/query
+// mistakes are the client's (400), exceeded deadlines are 504, the rest 500.
+func writeEngineErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBadScenario):
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, "evaluation timed out")
+	case errors.Is(err, context.Canceled):
+		writeErr(w, 499, "request canceled") // nginx's client-closed-request
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// decodeInto strictly parses the request body into v.
+func (s *apiServer) decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// requireMethod enforces the HTTP verb.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed, use %s", r.Method, method)
+		return false
+	}
+	return true
+}
+
+func (s *apiServer) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+func (s *apiServer) healthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine": s.eng.MetricsSnapshot(),
+		"runtime": map[string]any{
+			"goroutines":    runtime.NumGoroutine(),
+			"heapAllocMB":   float64(mem.HeapAlloc) / (1 << 20),
+			"numGC":         mem.NumGC,
+			"gomaxprocs":    runtime.GOMAXPROCS(0),
+			"uptimeSeconds": time.Since(s.started).Seconds(),
+		},
+	})
+}
+
+type evaluateRequest struct {
+	Scenario *spec.Spec `json:"scenario"`
+	Source   string     `json:"source"`
+}
+
+type evaluateResponse struct {
+	Key      string     `json:"key"`
+	Fup      int        `json:"fup"`
+	Schedule string     `json:"schedule"`
+	Path     PathResult `json:"path"`
+}
+
+func (s *apiServer) evaluate(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req evaluateRequest
+	if !s.decodeInto(w, r, &req) {
+		return
+	}
+	if req.Scenario == nil {
+		writeErr(w, http.StatusBadRequest, "missing scenario")
+		return
+	}
+	if req.Source == "" {
+		writeErr(w, http.StatusBadRequest, "missing source; use /v1/network for all paths")
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, err := s.eng.Evaluate(ctx, req.Scenario)
+	if err != nil {
+		writeEngineErr(w, err)
+		return
+	}
+	p, ok := res.Path(req.Source)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "node %q is not a reporting source with an uplink path", req.Source)
+		return
+	}
+	writeJSON(w, http.StatusOK, evaluateResponse{Key: res.Key, Fup: res.Fup, Schedule: res.Schedule, Path: p})
+}
+
+type networkRequest struct {
+	Scenario *spec.Spec `json:"scenario"`
+}
+
+func (s *apiServer) network(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req networkRequest
+	if !s.decodeInto(w, r, &req) {
+		return
+	}
+	if req.Scenario == nil {
+		writeErr(w, http.StatusBadRequest, "missing scenario")
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, err := s.eng.Evaluate(ctx, req.Scenario)
+	if err != nil {
+		writeEngineErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// predictCandidate accepts either a single-hop "ebN0" or a multi-hop
+// "ebN0s" peer path.
+type predictCandidate struct {
+	Via   string    `json:"via"`
+	EbN0  *float64  `json:"ebN0,omitempty"`
+	EbN0s []float64 `json:"ebN0s,omitempty"`
+}
+
+type predictRequest struct {
+	Scenario   *spec.Spec         `json:"scenario"`
+	Candidates []predictCandidate `json:"candidates"`
+}
+
+type predictResponse struct {
+	Key         string        `json:"key"`
+	Predictions []*Prediction `json:"predictions"`
+	Recommended string        `json:"recommended"`
+}
+
+func (s *apiServer) predict(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req predictRequest
+	if !s.decodeInto(w, r, &req) {
+		return
+	}
+	if req.Scenario == nil {
+		writeErr(w, http.StatusBadRequest, "missing scenario")
+		return
+	}
+	if len(req.Candidates) == 0 {
+		writeErr(w, http.StatusBadRequest, "missing candidates")
+		return
+	}
+	cands := make([]Candidate, len(req.Candidates))
+	for i, c := range req.Candidates {
+		switch {
+		case c.EbN0 != nil && len(c.EbN0s) > 0:
+			writeErr(w, http.StatusBadRequest, "candidate %q sets both ebN0 and ebN0s", c.Via)
+			return
+		case c.EbN0 != nil:
+			cands[i] = Candidate{Via: c.Via, EbN0s: []float64{*c.EbN0}}
+		default:
+			cands[i] = Candidate{Via: c.Via, EbN0s: c.EbN0s}
+		}
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	preds, err := s.eng.PredictRanked(ctx, req.Scenario, cands)
+	if err != nil {
+		writeEngineErr(w, err)
+		return
+	}
+	key, err := Key(req.Scenario)
+	if err != nil {
+		writeEngineErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Key: key, Predictions: preds, Recommended: preds[0].Via})
+}

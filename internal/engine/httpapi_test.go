@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wirelesshart"
+	"wirelesshart/internal/spec"
+)
+
+func newTestAPI(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	eng := New(Config{})
+	srv := httptest.NewServer(NewHandler(eng, 30*time.Second))
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newTestAPI(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	decodeBody(t, resp, &body)
+	if body.Status != "ok" {
+		t.Errorf("status %q, want ok", body.Status)
+	}
+}
+
+func TestEvaluateEndpoint(t *testing.T) {
+	srv, _ := newTestAPI(t)
+	resp := postJSON(t, srv.URL+"/v1/evaluate", map[string]any{
+		"scenario": spec.TypicalSpec(),
+		"source":   "n10",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var body evaluateResponse
+	decodeBody(t, resp, &body)
+	if body.Path.Source != "n10" || body.Path.Hops != 3 {
+		t.Errorf("path = %s/%d hops, want n10/3", body.Path.Source, body.Path.Hops)
+	}
+	if body.Path.Reachability <= 0 || body.Path.Reachability >= 1 {
+		t.Errorf("reachability %v out of (0,1)", body.Path.Reachability)
+	}
+	if body.Fup != 20 {
+		t.Errorf("Fup = %d, want the paper's 20", body.Fup)
+	}
+	if body.Key == "" {
+		t.Error("missing scenario key")
+	}
+}
+
+func TestNetworkEndpointAndMetrics(t *testing.T) {
+	srv, eng := newTestAPI(t)
+	for i := 0; i < 2; i++ { // second call must hit the cache
+		resp := postJSON(t, srv.URL+"/v1/network", map[string]any{"scenario": spec.TypicalSpec()})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+		var body Result
+		decodeBody(t, resp, &body)
+		if len(body.Paths) != 10 {
+			t.Fatalf("%d paths, want 10", len(body.Paths))
+		}
+		if body.Utilization <= 0 || body.OverallMeanDelayMS <= 0 {
+			t.Errorf("implausible aggregates: U=%v E[Gamma]=%v", body.Utilization, body.OverallMeanDelayMS)
+		}
+	}
+	if solves := eng.Metrics().Solves(); solves != 1 {
+		t.Errorf("%d solves after 2 identical requests, want 1", solves)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Engine Snapshot `json:"engine"`
+	}
+	decodeBody(t, resp, &metrics)
+	if metrics.Engine.Solves != 1 || metrics.Engine.CacheHits != 1 {
+		t.Errorf("metrics solves=%d hits=%d, want 1/1", metrics.Engine.Solves, metrics.Engine.CacheHits)
+	}
+}
+
+// TestPredictEndpointRanking pins /v1/predict to the routingadvisor
+// example: same candidates, same ranking, same recommendation.
+func TestPredictEndpointRanking(t *testing.T) {
+	srv, _ := newTestAPI(t)
+	resp := postJSON(t, srv.URL+"/v1/predict", map[string]any{
+		"scenario": spec.TypicalSpec(),
+		"candidates": []map[string]any{
+			{"via": "n4", "ebN0": 7},
+			{"via": "n1", "ebN0": 6},
+			{"via": "n9", "ebN0": 12},
+			{"via": "n3", "ebN0": 4},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var body predictResponse
+	decodeBody(t, resp, &body)
+
+	// Recompute the advisor's ranking through the library.
+	net, err := wirelesshart.Typical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preds []*wirelesshart.Prediction
+	for _, c := range []struct {
+		via  string
+		ebN0 float64
+	}{{"n4", 7}, {"n1", 6}, {"n9", 12}, {"n3", 4}} {
+		p, err := net.PredictAttachment(c.via, c.ebN0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds = append(preds, p)
+	}
+	want := wirelesshart.RankPredictions(preds)
+	if len(body.Predictions) != len(want) {
+		t.Fatalf("%d predictions, want %d", len(body.Predictions), len(want))
+	}
+	for i := range want {
+		if body.Predictions[i].Via != want[i].Via {
+			t.Errorf("rank %d: %s, want %s", i, body.Predictions[i].Via, want[i].Via)
+		}
+	}
+	if body.Recommended != want[0].Via {
+		t.Errorf("recommended %s, want %s", body.Recommended, want[0].Via)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	srv, _ := newTestAPI(t)
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	typical, err := json.Marshal(spec.TypicalSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"malformed json", "/v1/network", "{", http.StatusBadRequest},
+		{"unknown field", "/v1/network", `{"scenario": {"nodes": [], "bogus": 1}}`, http.StatusBadRequest},
+		{"missing scenario", "/v1/network", `{}`, http.StatusBadRequest},
+		{"empty scenario", "/v1/network", `{"scenario": {}}`, http.StatusBadRequest},
+		{"missing source", "/v1/evaluate", `{"scenario": ` + string(typical) + `}`, http.StatusBadRequest},
+		{"unknown source", "/v1/evaluate", `{"scenario": ` + string(typical) + `, "source": "ghost"}`, http.StatusBadRequest},
+		{"missing candidates", "/v1/predict", `{"scenario": ` + string(typical) + `}`, http.StatusBadRequest},
+		{"conflicting snr fields", "/v1/predict",
+			`{"scenario": ` + string(typical) + `, "candidates": [{"via": "n4", "ebN0": 7, "ebN0s": [7]}]}`,
+			http.StatusBadRequest},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			resp := post(tt.path, tt.body)
+			if resp.StatusCode != tt.want {
+				t.Errorf("status %d, want %d", resp.StatusCode, tt.want)
+			}
+			var e errorResponse
+			decodeBody(t, resp, &e)
+			if e.Error == "" {
+				t.Error("error body missing")
+			}
+		})
+	}
+	for _, path := range []string{"/v1/evaluate", "/v1/network", "/v1/predict"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}

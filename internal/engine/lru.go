@@ -1,0 +1,49 @@
+package engine
+
+import "container/list"
+
+// lruCache is a bounded least-recently-used map. It is not safe for
+// concurrent use; the engine guards it with its mutex.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes a value, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) add(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return c.order.Len() }

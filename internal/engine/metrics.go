@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the histogram upper bounds for solve latency, in
+// milliseconds. The last implicit bucket is +Inf.
+var latencyBucketsMS = []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// Metrics counts the engine's work. All methods are safe for concurrent
+// use; counters only ever increase, InFlight is a gauge.
+type Metrics struct {
+	solves      atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	deduped     atomic.Int64
+	errors      atomic.Int64
+	inFlight    atomic.Int64
+
+	latCount   atomic.Int64
+	latSumUS   atomic.Int64 // microseconds, for the mean
+	latBuckets []atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{latBuckets: make([]atomic.Int64, len(latencyBucketsMS)+1)}
+}
+
+// Solves returns the number of full scenario solves performed.
+func (m *Metrics) Solves() int64 { return m.solves.Load() }
+
+// CacheHits returns the number of Evaluate calls served from the cache.
+func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
+
+// CacheMisses returns the number of Evaluate calls that had to solve.
+func (m *Metrics) CacheMisses() int64 { return m.cacheMisses.Load() }
+
+// Deduped returns the number of Evaluate calls that piggybacked on an
+// identical in-flight solve (single-flight followers).
+func (m *Metrics) Deduped() int64 { return m.deduped.Load() }
+
+// InFlight returns the number of solves currently running.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
+func (m *Metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	m.latBuckets[i].Add(1)
+	m.latCount.Add(1)
+	m.latSumUS.Add(d.Microseconds())
+}
+
+// quantileMS returns the upper bound (ms) of the histogram bucket in which
+// the q-quantile of observed solve latencies falls; the open last bucket
+// reports its lower bound. Zero observations yield 0.
+func (m *Metrics) quantileMS(q float64) float64 {
+	total := m.latCount.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range m.latBuckets {
+		cum += m.latBuckets[i].Load()
+		if cum >= rank {
+			if i < len(latencyBucketsMS) {
+				return latencyBucketsMS[i]
+			}
+			return latencyBucketsMS[len(latencyBucketsMS)-1]
+		}
+	}
+	return latencyBucketsMS[len(latencyBucketsMS)-1]
+}
+
+// LatencySnapshot summarizes solve latency.
+type LatencySnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"meanMS"`
+	P50MS  float64 `json:"p50MS"`
+	P99MS  float64 `json:"p99MS"`
+}
+
+// Snapshot is a point-in-time copy of all engine metrics, ready for JSON.
+type Snapshot struct {
+	Solves      int64           `json:"solves"`
+	CacheHits   int64           `json:"cacheHits"`
+	CacheMisses int64           `json:"cacheMisses"`
+	Deduped     int64           `json:"deduped"`
+	Errors      int64           `json:"errors"`
+	InFlight    int64           `json:"inFlight"`
+	CacheLen    int             `json:"cacheLen"`
+	CacheCap    int             `json:"cacheCap"`
+	Workers     int             `json:"workers"`
+	SolveTime   LatencySnapshot `json:"solveTime"`
+}
+
+func (m *Metrics) snapshot() Snapshot {
+	s := Snapshot{
+		Solves:      m.solves.Load(),
+		CacheHits:   m.cacheHits.Load(),
+		CacheMisses: m.cacheMisses.Load(),
+		Deduped:     m.deduped.Load(),
+		Errors:      m.errors.Load(),
+		InFlight:    m.inFlight.Load(),
+	}
+	s.SolveTime.Count = m.latCount.Load()
+	if s.SolveTime.Count > 0 {
+		s.SolveTime.MeanMS = float64(m.latSumUS.Load()) / 1000 / float64(s.SolveTime.Count)
+		s.SolveTime.P50MS = m.quantileMS(0.5)
+		s.SolveTime.P99MS = m.quantileMS(0.99)
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+// Package engine is the concurrent evaluation engine behind cmd/whart-server:
+// it accepts scenario specs (the JSON network form of internal/spec, also
+// produced from the fluent API by Network.Spec), canonicalizes each into a
+// deterministic cache key, and serves solved results — reachability, delay
+// PMF and expectation, utilization, and the cycle functions needed for
+// routing-prediction composition — from a bounded LRU cache. Concurrent
+// identical queries are deduplicated (single-flight) so each distinct
+// scenario is solved exactly once, a worker pool bounds concurrent DTMC
+// solves, and an observability layer counts solves, cache traffic and solve
+// latency quantiles.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"wirelesshart/internal/spec"
+)
+
+// canonScenario is the canonical form a scenario is hashed in. Field order
+// is fixed by the struct; json.Marshal of a struct is deterministic.
+//
+// Canonicalization must merge exactly the scenario pairs that provably
+// yield identical results:
+//
+//   - Node order is semantic and preserved: node ids follow declaration
+//     order and break BFS routing ties (the network manager's deterministic
+//     choice), so reordering nodes can reroute the mesh.
+//   - Link order is not semantic (routing consults sorted neighbor sets,
+//     never link ids), so links are sorted and their endpoints oriented
+//     lexicographically.
+//   - Each link is resolved to its effective two-state model (p_fl, p_rc):
+//     a link declared via BER and one declared via the equivalent failure
+//     probability hash identically, while any numeric change misses.
+//   - Defaults are materialized (reporting interval 4, message bits 1016,
+//     channels 1, empty sources = all field devices) so a spec spelling a
+//     default out hashes like one omitting it.
+//   - Explicit schedule entries are order-insensitive and sorted by slot;
+//     a Priority list is an ordered allocation sequence and preserved.
+type canonScenario struct {
+	Nodes    []canonNode
+	Links    []canonLink
+	Schedule canonSchedule
+	Is       int
+	TTL      int
+	Fdown    int
+	Bits     int
+	Sources  []string
+}
+
+type canonNode struct {
+	Name, Kind string
+}
+
+type canonLink struct {
+	A, B     string
+	PFl, PRc float64
+	Failure  string // "", "permanent", or "window:from:to"
+}
+
+type canonSchedule struct {
+	Policy    string
+	Priority  []string
+	ExtraIdle int
+	Channels  int
+	Fup       int
+	Slots     []canonSlot
+}
+
+type canonSlot struct {
+	Slot             int
+	From, To, Source string
+}
+
+// Key returns the deterministic cache key of a scenario: the hex SHA-256
+// of its canonical form. Two specs that differ only in declaration order,
+// field choice (BER vs the equivalent p_fl) or spelled-out defaults share
+// a key; any semantic change produces a new one.
+func Key(s *spec.Spec) (string, error) {
+	c, err := canonicalize(s)
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("engine: canonical marshal: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func canonicalize(s *spec.Spec) (*canonScenario, error) {
+	if s == nil {
+		return nil, fmt.Errorf("engine: nil scenario")
+	}
+	c := &canonScenario{
+		Is:    s.ReportingInterval,
+		TTL:   s.TTL,
+		Fdown: s.Fdown,
+		Bits:  s.Bits(),
+	}
+	if c.Is == 0 {
+		c.Is = 4
+	}
+	fieldDevices := []string{}
+	for _, n := range s.Nodes {
+		kind := n.Kind
+		if kind == "" {
+			kind = "field-device"
+		}
+		if kind == "field-device" {
+			fieldDevices = append(fieldDevices, n.Name)
+		}
+		c.Nodes = append(c.Nodes, canonNode{Name: n.Name, Kind: kind})
+	}
+	for _, l := range s.Links {
+		m, err := s.ResolveLink(l)
+		if err != nil {
+			return nil, fmt.Errorf("engine: link %q-%q: %w", l.A, l.B, err)
+		}
+		cl := canonLink{A: l.A, B: l.B, PFl: m.FailureProb(), PRc: m.RecoveryProb()}
+		if cl.A > cl.B {
+			cl.A, cl.B = cl.B, cl.A
+		}
+		if f := l.Failure; f != nil {
+			switch f.Kind {
+			case "permanent":
+				cl.Failure = "permanent"
+			case "window":
+				cl.Failure = fmt.Sprintf("window:%d:%d", f.FromSlot, f.ToSlot)
+			default:
+				return nil, fmt.Errorf("engine: link %q-%q: unknown failure kind %q", l.A, l.B, f.Kind)
+			}
+		}
+		c.Links = append(c.Links, cl)
+	}
+	sort.Slice(c.Links, func(i, j int) bool {
+		a, b := c.Links[i], c.Links[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.Failure < b.Failure
+	})
+	sc := s.Schedule
+	c.Schedule = canonSchedule{
+		Policy:    sc.Policy,
+		Priority:  append([]string(nil), sc.Priority...),
+		ExtraIdle: sc.ExtraIdle,
+		Channels:  sc.Channels,
+		Fup:       sc.Fup,
+	}
+	if c.Schedule.Channels == 0 {
+		c.Schedule.Channels = 1
+	}
+	for _, tr := range sc.Slots {
+		c.Schedule.Slots = append(c.Schedule.Slots, canonSlot{
+			Slot: tr.Slot, From: tr.From, To: tr.To, Source: tr.Source,
+		})
+	}
+	sort.Slice(c.Schedule.Slots, func(i, j int) bool {
+		a, b := c.Schedule.Slots[i], c.Schedule.Slots[j]
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		return a.Source < b.Source
+	})
+	c.Sources = append([]string(nil), s.Sources...)
+	if len(c.Sources) == 0 {
+		c.Sources = fieldDevices
+	}
+	sort.Strings(c.Sources)
+	return c, nil
+}

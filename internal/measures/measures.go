@@ -218,6 +218,24 @@ func ComposeCycles(peer, existing []float64, is int) ([]float64, error) {
 	return linalg.ConvolveTruncated(peer, existing, is), nil
 }
 
+// ComposedTieTolerance is the reachability difference below which two
+// composed paths count as equally reachable; the paper's Table IV treats
+// 99.45% vs 99.45% as a tie and decides on delay instead. Each extra hop
+// costs at least one more schedule slot (~10 ms), so hop count is the delay
+// proxy used to break such ties.
+const ComposedTieTolerance = 5e-4
+
+// BetterComposed reports whether a composed path with reachability r1 over
+// h1 hops should rank above one with r2 over h2 hops: higher reachability
+// wins, and reachabilities within tol of each other are tied and decided
+// by the shorter path (Section VI-E's routing-choice rule).
+func BetterComposed(r1 float64, h1 int, r2 float64, h2 int, tol float64) bool {
+	if diff := r1 - r2; diff > tol || diff < -tol {
+		return r1 > r2
+	}
+	return h1 < h2
+}
+
 // CycleReachability sums a cycle probability function into a reachability.
 func CycleReachability(g []float64) float64 {
 	var sum float64

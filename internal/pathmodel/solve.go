@@ -38,6 +38,16 @@ func (r *Result) Reachability() float64 {
 	return sum
 }
 
+// Clone returns a deep copy of the result. Solved results are cached and
+// shared across concurrent readers (the evaluation engine in particular);
+// Clone hands a caller its own mutable copy.
+func (r *Result) Clone() *Result {
+	out := *r
+	out.CycleProbs = append([]float64(nil), r.CycleProbs...)
+	out.GoalAges = append([]int(nil), r.GoalAges...)
+	return &out
+}
+
 // Solve runs the transient analysis p(t) = p(t-1) P(t) to the end of the
 // reporting interval and extracts the cycle probabilities, discard
 // probability and exact expected attempt count.

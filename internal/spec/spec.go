@@ -148,10 +148,7 @@ func (s *Spec) Build() (*Built, error) {
 	if len(s.Nodes) == 0 {
 		return nil, errors.New("spec: no nodes")
 	}
-	bits := s.MessageBits
-	if bits == 0 {
-		bits = channel.DefaultMessageBits
-	}
+	bits := s.Bits()
 	net := topology.NewNetwork()
 	ids := map[string]topology.NodeID{}
 	var sources []topology.NodeID
@@ -253,6 +250,24 @@ func (s *Spec) Build() (*Built, error) {
 	}, nil
 }
 
+// Bits returns the effective message length in bits (default 1016, the
+// 127-byte payload).
+func (s *Spec) Bits() int {
+	if s.MessageBits == 0 {
+		return channel.DefaultMessageBits
+	}
+	return s.MessageBits
+}
+
+// ResolveLink returns the effective link model of one declared link under
+// this spec's message length and default BER — the same resolution Build
+// applies. It lets callers (the evaluation engine's cache-key
+// canonicalization in particular) compare links by their semantics rather
+// than by which physical field happened to parameterize them.
+func (s *Spec) ResolveLink(l Link) (link.Model, error) {
+	return s.linkModel(l, s.Bits())
+}
+
 func failureAvailability(m link.Model, f *Failure) (link.Availability, error) {
 	switch f.Kind {
 	case "permanent":
@@ -287,7 +302,12 @@ func (s *Spec) linkModel(l Link, bits int) (link.Model, error) {
 	case l.Availability != nil:
 		return link.FromAvailability(*l.Availability, prc)
 	default:
-		return s.defaultModel(bits)
+		// Default physical quality, but an explicit PRc still applies.
+		ber := 2e-4
+		if s.DefaultBER != nil {
+			ber = *s.DefaultBER
+		}
+		return link.FromBER(ber, bits, prc)
 	}
 }
 

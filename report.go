@@ -358,6 +358,24 @@ type Prediction struct {
 	Hops int
 }
 
+// BetterPrediction reports whether prediction a should rank above b under
+// the paper's routing-choice rule (Section VI-E): higher reachability wins,
+// and reachabilities within 0.05% of each other are tied and decided by the
+// shorter composed path (each extra hop costs another ~10 ms slot).
+func BetterPrediction(a, b *Prediction) bool {
+	return measures.BetterComposed(a.Reachability, a.Hops, b.Reachability, b.Hops,
+		measures.ComposedTieTolerance)
+}
+
+// RankPredictions returns the predictions ordered best-first by
+// BetterPrediction; the input is not modified and ties keep their input
+// order (stable).
+func RankPredictions(preds []*Prediction) []*Prediction {
+	out := append([]*Prediction(nil), preds...)
+	sort.SliceStable(out, func(i, j int) bool { return BetterPrediction(out[i], out[j]) })
+	return out
+}
+
 // PredictAttachment predicts the performance of a new node joining the
 // network by a single peer link (with the given linear Eb/N0) to the named
 // existing node, using the paper's composition rule (Section VI-E). The

@@ -20,11 +20,13 @@ package wirelesshart
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"wirelesshart/internal/channel"
 	"wirelesshart/internal/core"
 	"wirelesshart/internal/link"
 	"wirelesshart/internal/schedule"
+	"wirelesshart/internal/spec"
 	"wirelesshart/internal/topology"
 )
 
@@ -408,6 +410,131 @@ func (n *Network) build(o *options) (*core.Analyzer, schedule.Plan, error) {
 		return nil, nil, err
 	}
 	return n.finishBuild(o, sched, nil)
+}
+
+// Spec exports the network together with the given analysis options as a
+// fully specified JSON scenario — the canonical form consumed by the
+// concurrent evaluation engine (internal/engine) and cmd/whart-server.
+// Analyzing the returned spec yields exactly the same results as calling
+// Analyze with the same options. DownlinkFrame(0) has no spec
+// representation and is rejected.
+func (n *Network) Spec(opts ...Option) (*spec.Spec, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		if err := opt(o); err != nil {
+			return nil, err
+		}
+	}
+	s := &spec.Spec{
+		ReportingInterval: o.is,
+		TTL:               o.ttl,
+		MessageBits:       n.bits,
+	}
+	switch {
+	case o.fdown == 0:
+		return nil, errors.New("wirelesshart: a zero downlink frame cannot be expressed as a spec")
+	case o.fdown > 0:
+		s.Fdown = o.fdown
+	}
+	for _, node := range n.topo.Nodes() {
+		kind := "field-device"
+		if node.Kind == topology.Gateway {
+			kind = "gateway"
+		}
+		s.Nodes = append(s.Nodes, spec.Node{Name: node.Name, Kind: kind})
+	}
+	dead := map[string]bool{}
+	for k, v := range o.deadLinks {
+		dead[k] = v
+	}
+	down := map[string][2]int{}
+	for k, v := range o.downLinks {
+		down[k] = v
+	}
+	for _, l := range n.topo.Links() {
+		na, err := n.topo.Node(l.A)
+		if err != nil {
+			return nil, err
+		}
+		nb, err := n.topo.Node(l.B)
+		if err != nil {
+			return nil, err
+		}
+		m := n.models[l.ID]
+		pfl, prc := m.FailureProb(), m.RecoveryProb()
+		sl := spec.Link{A: na.Name, B: nb.Name, PFl: &pfl, PRc: &prc}
+		key := linkKey(na.Name, nb.Name)
+		if dead[key] {
+			sl.Failure = &spec.Failure{Kind: "permanent"}
+			delete(dead, key)
+		} else if win, ok := down[key]; ok {
+			sl.Failure = &spec.Failure{Kind: "window", FromSlot: win[0], ToSlot: win[1]}
+			delete(down, key)
+		}
+		s.Links = append(s.Links, sl)
+	}
+	for key := range dead {
+		return nil, fmt.Errorf("wirelesshart: permanent failure on unknown link %q", key)
+	}
+	for key := range down {
+		return nil, fmt.Errorf("wirelesshart: failure window on unknown link %q", key)
+	}
+	switch {
+	case o.explicit != nil:
+		routes, err := n.topo.UplinkRoutes()
+		if err != nil {
+			return nil, err
+		}
+		s.Schedule.Fup = o.expFup
+		sources := make([]string, 0, len(o.explicit))
+		for name := range o.explicit {
+			sources = append(sources, name)
+		}
+		sort.Strings(sources)
+		for _, name := range sources {
+			node, ok := n.topo.NodeByName(name)
+			if !ok {
+				return nil, fmt.Errorf("wirelesshart: unknown source %q in explicit schedule", name)
+			}
+			p, ok := routes[node.ID]
+			if !ok {
+				return nil, fmt.Errorf("wirelesshart: node %q has no route", name)
+			}
+			slots := o.explicit[name]
+			if len(slots) != p.Hops() {
+				return nil, fmt.Errorf("wirelesshart: source %q has %d slots for %d hops",
+					name, len(slots), p.Hops())
+			}
+			nodes := p.Nodes()
+			for h, slot := range slots {
+				from, err := n.topo.Node(nodes[h])
+				if err != nil {
+					return nil, err
+				}
+				to, err := n.topo.Node(nodes[h+1])
+				if err != nil {
+					return nil, err
+				}
+				s.Schedule.Slots = append(s.Schedule.Slots, spec.Transmission{
+					Slot: slot, From: from.Name, To: to.Name, Source: name,
+				})
+			}
+		}
+		s.Sources = sources
+	case len(o.priority) > 0:
+		s.Schedule.Priority = append([]string(nil), o.priority...)
+		s.Schedule.ExtraIdle = o.extraIdle
+	case o.policy == LongestFirst:
+		s.Schedule.Policy = "longest-first"
+		s.Schedule.ExtraIdle = o.extraIdle
+	default:
+		s.Schedule.Policy = "shortest-first"
+		s.Schedule.ExtraIdle = o.extraIdle
+	}
+	if o.channels > 1 {
+		s.Schedule.Channels = o.channels
+	}
+	return s, nil
 }
 
 // buildExplicit realizes an ExplicitSlots schedule.
