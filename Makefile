@@ -17,7 +17,7 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -bench=. -benchmem ./
+	$(GO) test -bench=. -benchmem ./...
 
 clean:
 	$(GO) clean ./...

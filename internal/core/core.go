@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"wirelesshart/internal/link"
 	"wirelesshart/internal/measures"
@@ -30,6 +32,40 @@ type Analyzer struct {
 	models    map[topology.LinkID]link.Model
 	overrides map[topology.LinkID]link.Availability
 	sources   []topology.NodeID
+	cache     PathModelCache
+}
+
+// PathModelCache shares built (and kernel-compiled) path models across
+// analyses keyed by PathKey. Cached models are solved concurrently by the
+// evaluation engine, which is safe because path-model kernels are
+// time-homogeneous; implementations must be safe for concurrent use.
+type PathModelCache interface {
+	GetModel(key string) (*pathmodel.Model, bool)
+	PutModel(key string, m *pathmodel.Model)
+}
+
+// PathKey is the canonical identity of a steady-state path DTMC: the
+// schedule geometry (slots within a Fup-slot frame), the reporting
+// interval, the TTL override (0 = default), and each hop's link-model
+// parameters. Two paths with equal keys build identical chains, so their
+// compiled kernels and solutions are interchangeable. The key is only
+// meaningful for hops driven by their model's steady-state availability —
+// callers must not use it when a per-slot availability override is in
+// effect.
+func PathKey(slots []int, fup, is, ttl int, models []link.Model) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d|%d|", fup, is, ttl)
+	for _, s := range slots {
+		sb.WriteString(strconv.Itoa(s))
+		sb.WriteByte(',')
+	}
+	for _, m := range models {
+		sb.WriteByte('|')
+		sb.WriteString(strconv.FormatFloat(m.FailureProb(), 'b', -1, 64))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatFloat(m.RecoveryProb(), 'b', -1, 64))
+	}
+	return sb.String()
 }
 
 // Option configures an Analyzer.
@@ -96,6 +132,17 @@ func WithLinkAvailability(id topology.LinkID, av link.Availability) Option {
 			return fmt.Errorf("core: nil availability override for link %d", id)
 		}
 		a.overrides[id] = av
+		return nil
+	}
+}
+
+// WithPathModelCache shares built path models (with their compiled solver
+// kernels) across analyzers through the given cache — the evaluation
+// engine's kernel cache. Only paths without availability overrides are
+// cached; failure injections always rebuild.
+func WithPathModelCache(cache PathModelCache) Option {
+	return func(a *Analyzer) error {
+		a.cache = cache
 		return nil
 	}
 }
@@ -211,7 +258,9 @@ type PathAnalysis struct {
 }
 
 // BuildPathModel constructs the path DTMC for one source under the
-// analyzer's configuration.
+// analyzer's configuration, reusing a cached (kernel-compiled) model when
+// a PathModelCache is configured and every hop runs on its model's
+// steady-state availability.
 func (a *Analyzer) BuildPathModel(source topology.NodeID) (*pathmodel.Model, error) {
 	p, ok := a.routes[source]
 	if !ok {
@@ -221,17 +270,47 @@ func (a *Analyzer) BuildPathModel(source topology.NodeID) (*pathmodel.Model, err
 	if len(slots) != p.Hops() {
 		return nil, fmt.Errorf("core: source %d has %d slots for %d hops", source, len(slots), p.Hops())
 	}
+	key := ""
+	if a.cache != nil {
+		if models, cacheable := a.pathModels(p); cacheable {
+			key = PathKey(slots, a.sched.Fup(), a.is, a.ttl, models)
+			if m, ok := a.cache.GetModel(key); ok {
+				return m, nil
+			}
+		}
+	}
 	avails := make([]link.Availability, p.Hops())
 	for h, lid := range p.Links() {
 		avails[h] = a.availability(lid)
 	}
-	return pathmodel.Build(pathmodel.Config{
+	m, err := pathmodel.Build(pathmodel.Config{
 		Slots: slots,
 		Fup:   a.sched.Fup(),
 		Is:    a.is,
 		TTL:   a.ttl,
 		Links: avails,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		m.Compile() // share kernels eagerly, not under a future solve
+		a.cache.PutModel(key, m)
+	}
+	return m, nil
+}
+
+// pathModels returns the link model of each hop, and whether the path is
+// cacheable (no per-slot availability override on any hop).
+func (a *Analyzer) pathModels(p topology.Path) ([]link.Model, bool) {
+	models := make([]link.Model, p.Hops())
+	for h, lid := range p.Links() {
+		if _, overridden := a.overrides[lid]; overridden {
+			return nil, false
+		}
+		models[h] = a.LinkModel(lid)
+	}
+	return models, true
 }
 
 // AnalyzePath solves one source's path model and derives its measures.

@@ -43,25 +43,33 @@ func (c *Chain) AbsorbAnalysis(start, t int) (*AbsorptionResult, error) {
 	}
 
 	// Index the transient states.
-	transientIdx := map[int]int{}
+	transientIdx := make([]int, len(c.names))
 	var transients []int
 	for id := range c.names {
 		if !c.absorbing[id] {
 			transientIdx[id] = len(transients)
 			transients = append(transients, id)
+		} else {
+			transientIdx[id] = -1
 		}
 	}
 	nT := len(transients)
 
-	// Build (I - Q)^T ... we need the expected-visit row vector
-	// n_start = e_start (I-Q)^{-1}, i.e. solve (I-Q)^T x = e_start.
+	// Extract Q directly from the compiled kernel's CSR rows (frozen at
+	// time t) and assemble (I - Q)^T: we need the expected-visit row
+	// vector n_start = e_start (I-Q)^{-1}, i.e. solve (I-Q)^T x = e_start.
+	k := c.Compile()
+	if err := k.refresh(t); err != nil {
+		return nil, err
+	}
 	a := linalg.NewMatrix(nT, nT)
 	for i, id := range transients {
 		a.Set(i, i, 1)
-		for _, tr := range c.out[id] {
-			if j, ok := transientIdx[tr.To]; ok {
+		cols, vals := k.mat.Row(id)
+		for e, to := range cols {
+			if j := transientIdx[to]; j >= 0 {
 				// (I-Q)^T[j][i] -= q_ij
-				a.Add(j, i, -tr.probAt(t))
+				a.Add(j, i, -vals[e])
 			}
 		}
 	}
@@ -81,11 +89,12 @@ func (c *Chain) AbsorbAnalysis(start, t int) (*AbsorptionResult, error) {
 		res.ExpectedSteps += visits[i]
 	}
 	// Absorption probability into a: sum over transient i of visits[i] *
-	// P(i -> a).
+	// P(i -> a), read off the same CSR rows.
 	for i, id := range transients {
-		for _, tr := range c.out[id] {
-			if c.absorbing[tr.To] {
-				res.Probs[tr.To] += visits[i] * tr.probAt(t)
+		cols, vals := k.mat.Row(id)
+		for e, to := range cols {
+			if c.absorbing[to] {
+				res.Probs[to] += visits[i] * vals[e]
 			}
 		}
 	}
@@ -111,23 +120,20 @@ func (c *Chain) AbsorptionTimes(start, t0, horizon int) (times map[int][]float64
 	for _, a := range absorbers {
 		times[a] = make([]float64, horizon+1)
 	}
-	p, err := c.InitialDistribution(start)
+	p0, err := c.InitialDistribution(start)
 	if err != nil {
 		return nil, 0, err
 	}
 	prev := map[int]float64{}
-	record := func(t int, dist linalg.Vector) {
+	p, err := c.Compile().TransientObserved(p0, t0, horizon, func(t int, dist linalg.Vector) error {
 		for _, a := range absorbers {
 			times[a][t] = dist[a] - prev[a]
 			prev[a] = dist[a]
 		}
-	}
-	record(0, p)
-	for t := 0; t < horizon; t++ {
-		if p, err = c.StepAt(p, t0+t); err != nil {
-			return nil, 0, err
-		}
-		record(t+1, p)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	unabsorbed = 1
 	for _, a := range absorbers {
@@ -167,6 +173,8 @@ func (c *Chain) MixingTime(start int, eps float64, maxSteps int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	k := c.Compile()
+	next := linalg.NewVector(len(c.names))
 	for t := 0; t <= maxSteps; t++ {
 		d, err := p.MaxAbsDiff(pi)
 		if err != nil {
@@ -175,9 +183,10 @@ func (c *Chain) MixingTime(start int, eps float64, maxSteps int) (int, error) {
 		if d <= eps {
 			return t, nil
 		}
-		if p, err = c.StepAt(p, t); err != nil {
+		if err := k.StepInto(next, p, t); err != nil {
 			return 0, err
 		}
+		p, next = next, p
 	}
 	return 0, fmt.Errorf("dtmc: not mixed within %d steps", maxSteps)
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"wirelesshart/internal/linalg"
 )
@@ -40,6 +41,11 @@ type Chain struct {
 	index     map[string]int
 	out       [][]Transition
 	absorbing []bool
+
+	// kernel caches the compiled CSR form used by every analysis method;
+	// structural mutations invalidate it.
+	kmu    sync.Mutex
+	kernel *Kernel
 }
 
 // New returns an empty chain.
@@ -57,6 +63,7 @@ func (c *Chain) AddState(name string) (int, error) {
 	c.index[name] = id
 	c.out = append(c.out, nil)
 	c.absorbing = append(c.absorbing, false)
+	c.invalidateKernel()
 	return id, nil
 }
 
@@ -109,6 +116,7 @@ func (c *Chain) addTransition(from int, tr Transition) error {
 		return fmt.Errorf("dtmc: probability %v out of [0,1]", tr.Prob)
 	}
 	c.out[from] = append(c.out[from], tr)
+	c.invalidateKernel()
 	return nil
 }
 
@@ -122,6 +130,7 @@ func (c *Chain) MarkAbsorbing(id int) error {
 		return fmt.Errorf("dtmc: state %q has outgoing transitions, cannot absorb", c.names[id])
 	}
 	c.absorbing[id] = true
+	c.invalidateKernel()
 	return nil
 }
 
@@ -146,10 +155,14 @@ func (c *Chain) Transitions(id int) []Transition {
 	return out
 }
 
-// Validate checks that every non-absorbing state's fixed outgoing
-// probabilities sum to one at time 0 within tol, and that every state is
-// either absorbing or has outgoing transitions. Chains with ProbFn edges
-// are validated at t = 0; StepAt re-checks rows lazily during analysis.
+// Validate checks that every non-absorbing state's outgoing probabilities
+// sum to one at time 0 within tol, and that every state is either
+// absorbing or has outgoing transitions. Chains with ProbFn edges are
+// validated at t = 0 only; during analysis the compiled kernel re-checks
+// exactly the time-varying edges at every step it evaluates (NaN,
+// negative, or >1 probabilities surface as errors from the stepping
+// methods), so the per-step cost is amortized onto the edges that actually
+// vary.
 func (c *Chain) Validate(tol float64) error {
 	if len(c.names) == 0 {
 		return errors.New("dtmc: empty chain")
@@ -194,23 +207,12 @@ func (c *Chain) InitialDistribution(id int) (linalg.Vector, error) {
 }
 
 // StepAt advances the distribution one slot, using per-step probabilities
-// evaluated at time t: p(t+1) = p(t) P(t).
+// evaluated at time t: p(t+1) = p(t) P(t). It is a thin allocating wrapper
+// over Kernel.StepInto; hot loops should compile once and reuse buffers.
 func (c *Chain) StepAt(p linalg.Vector, t int) (linalg.Vector, error) {
-	if len(p) != len(c.names) {
-		return nil, fmt.Errorf("dtmc: distribution length %d, want %d", len(p), len(c.names))
-	}
 	out := linalg.NewVector(len(c.names))
-	for id, mass := range p {
-		if mass == 0 {
-			continue
-		}
-		if c.absorbing[id] {
-			out[id] += mass
-			continue
-		}
-		for _, tr := range c.out[id] {
-			out[tr.To] += mass * tr.probAt(t)
-		}
+	if err := c.Compile().StepInto(out, p, t); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -218,34 +220,19 @@ func (c *Chain) StepAt(p linalg.Vector, t int) (linalg.Vector, error) {
 // TransientAt returns the distribution after steps slots starting from p0
 // at time t0.
 func (c *Chain) TransientAt(p0 linalg.Vector, t0, steps int) (linalg.Vector, error) {
-	if steps < 0 {
-		return nil, fmt.Errorf("dtmc: negative step count %d", steps)
-	}
-	p := p0.Clone()
-	for s := 0; s < steps; s++ {
-		var err error
-		if p, err = c.StepAt(p, t0+s); err != nil {
-			return nil, err
-		}
-	}
-	return p, nil
+	return c.Compile().Transient(p0, t0, steps)
 }
 
 // TransientTrajectory returns the distributions p(0..steps) (inclusive,
 // steps+1 vectors) starting from p0 at time t0.
 func (c *Chain) TransientTrajectory(p0 linalg.Vector, t0, steps int) ([]linalg.Vector, error) {
-	if steps < 0 {
-		return nil, fmt.Errorf("dtmc: negative step count %d", steps)
-	}
 	out := make([]linalg.Vector, 0, steps+1)
-	p := p0.Clone()
-	out = append(out, p.Clone())
-	for s := 0; s < steps; s++ {
-		var err error
-		if p, err = c.StepAt(p, t0+s); err != nil {
-			return nil, err
-		}
+	_, err := c.Compile().TransientObserved(p0, t0, steps, func(_ int, p linalg.Vector) error {
 		out = append(out, p.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

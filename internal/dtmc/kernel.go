@@ -1,0 +1,190 @@
+package dtmc
+
+import (
+	"fmt"
+	"math"
+
+	"wirelesshart/internal/linalg"
+)
+
+// varyingEdge is one time-varying transition of a compiled kernel: pos
+// indexes the CSR value slot that must be re-evaluated before stepping at
+// a new time.
+type varyingEdge struct {
+	from int
+	pos  int
+	fn   ProbFn
+}
+
+// Kernel is a chain compiled to compressed-sparse-row form for repeated
+// transient steps. Fixed-probability edges (and the implicit self-loops of
+// absorbing states) are frozen into the value array once at compile time;
+// edges with a ProbFn are listed separately and refreshed — and validated —
+// only when the step time changes, so fully homogeneous chains pay no
+// per-step probability evaluation at all.
+//
+// A Kernel is safe for concurrent use only when Homogeneous reports true
+// (stepping is then read-only); kernels with time-varying edges update the
+// value array in place and need external synchronization.
+type Kernel struct {
+	n       int
+	names   []string // shared with the source chain, for error messages
+	mat     *linalg.CSR
+	varying []varyingEdge
+	// lastT is the step time the varying values currently reflect;
+	// -1 means "never refreshed", -2 "partially refreshed after an error".
+	lastT int
+}
+
+// Compile returns the chain's compiled kernel, building it on first use
+// and caching it on the chain; mutating the chain (AddState,
+// AddTransition, MarkAbsorbing) invalidates the cache. The kernel of a
+// homogeneous chain may be shared across goroutines; see Kernel.
+func (c *Chain) Compile() *Kernel {
+	c.kmu.Lock()
+	defer c.kmu.Unlock()
+	if c.kernel == nil {
+		c.kernel = c.compile()
+	}
+	return c.kernel
+}
+
+// invalidateKernel drops the cached kernel after a structural mutation.
+func (c *Chain) invalidateKernel() {
+	c.kmu.Lock()
+	c.kernel = nil
+	c.kmu.Unlock()
+}
+
+// compile lowers the slice-of-slices transition structure into CSR form.
+// Absorbing states become explicit self-loops so stepping needs no
+// per-state branch.
+func (c *Chain) compile() *Kernel {
+	n := len(c.names)
+	nnz := 0
+	for id := range c.names {
+		if c.absorbing[id] {
+			nnz++
+			continue
+		}
+		nnz += len(c.out[id])
+	}
+	rowPtr := make([]int, n+1)
+	col := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
+	k := &Kernel{n: n, names: c.names, lastT: -1}
+	for id := range c.names {
+		if c.absorbing[id] {
+			col = append(col, id)
+			val = append(val, 1)
+			rowPtr[id+1] = len(col)
+			continue
+		}
+		for _, tr := range c.out[id] {
+			if tr.Fn != nil {
+				k.varying = append(k.varying, varyingEdge{from: id, pos: len(col), fn: tr.Fn})
+			}
+			col = append(col, tr.To)
+			val = append(val, tr.Prob) // zero placeholder for Fn edges
+		}
+		rowPtr[id+1] = len(col)
+	}
+	mat, err := linalg.NewCSR(n, n, rowPtr, col, val)
+	if err != nil {
+		// Unreachable: the layout is constructed consistently above, and
+		// AddTransition already rejected out-of-range targets.
+		panic(fmt.Sprintf("dtmc: compiled CSR invalid: %v", err))
+	}
+	k.mat = mat
+	return k
+}
+
+// NumStates returns the kernel's state count.
+func (k *Kernel) NumStates() int { return k.n }
+
+// NNZ returns the number of compiled edges (including absorbing
+// self-loops).
+func (k *Kernel) NNZ() int { return k.mat.NNZ() }
+
+// Homogeneous reports whether every edge probability is frozen, i.e. the
+// chain is time-homogeneous and stepping never re-evaluates probabilities.
+func (k *Kernel) Homogeneous() bool { return len(k.varying) == 0 }
+
+// refresh evaluates the time-varying edges at step time t and validates
+// each evaluated probability (NaN, negative, or >1 are errors). The
+// validation cost is amortized onto exactly the edges that actually vary;
+// frozen edges were checked when they were added to the chain.
+func (k *Kernel) refresh(t int) error {
+	if len(k.varying) == 0 || k.lastT == t {
+		return nil
+	}
+	vals := k.mat.Values()
+	k.lastT = -2
+	for _, e := range k.varying {
+		p := e.fn(t)
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("dtmc: state %q transition probability %v out of [0,1] at t=%d", k.names[e.from], p, t)
+		}
+		vals[e.pos] = p
+	}
+	k.lastT = t
+	return nil
+}
+
+// StepInto advances the distribution one slot in place: dst = src P(t).
+// dst and src must be distinct vectors of the chain's state count; dst is
+// overwritten.
+func (k *Kernel) StepInto(dst, src linalg.Vector, t int) error {
+	if len(src) != k.n {
+		return fmt.Errorf("dtmc: distribution length %d, want %d", len(src), k.n)
+	}
+	if len(dst) != k.n {
+		return fmt.Errorf("dtmc: step destination length %d, want %d", len(dst), k.n)
+	}
+	if err := k.refresh(t); err != nil {
+		return err
+	}
+	return k.mat.MulVecInto(dst, src)
+}
+
+// Transient returns the distribution after steps slots starting from p0 at
+// time t0, reusing two ping-pong buffers for the whole horizon. The
+// returned vector is freshly allocated and owned by the caller.
+func (k *Kernel) Transient(p0 linalg.Vector, t0, steps int) (linalg.Vector, error) {
+	return k.TransientObserved(p0, t0, steps, nil)
+}
+
+// TransientObserved is the shared transient driver: it runs p(s+1) = p(s)
+// P(t0+s) for s = 0..steps-1 with two reused buffers and, when observe is
+// non-nil, calls observe(s, p(s)) for every s = 0..steps (including the
+// initial distribution). The vector passed to observe is only valid during
+// the call and must not be modified or retained. The final distribution is
+// returned; it is freshly allocated within the call and owned by the
+// caller.
+func (k *Kernel) TransientObserved(p0 linalg.Vector, t0, steps int, observe func(step int, p linalg.Vector) error) (linalg.Vector, error) {
+	if steps < 0 {
+		return nil, fmt.Errorf("dtmc: negative step count %d", steps)
+	}
+	if len(p0) != k.n {
+		return nil, fmt.Errorf("dtmc: distribution length %d, want %d", len(p0), k.n)
+	}
+	cur := p0.Clone()
+	next := linalg.NewVector(k.n)
+	if observe != nil {
+		if err := observe(0, cur); err != nil {
+			return nil, err
+		}
+	}
+	for s := 0; s < steps; s++ {
+		if err := k.StepInto(next, cur, t0+s); err != nil {
+			return nil, err
+		}
+		cur, next = next, cur
+		if observe != nil {
+			if err := observe(s+1, cur); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cur, nil
+}

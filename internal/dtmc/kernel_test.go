@@ -1,0 +1,403 @@
+package dtmc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"wirelesshart/internal/linalg"
+)
+
+// legacyStepAt is the pre-kernel reference implementation of the transient
+// step — the slice-of-slices walk with per-edge probAt evaluation that
+// StepAt used before compilation. The equivalence tests pin the compiled
+// kernel against it.
+func legacyStepAt(c *Chain, p linalg.Vector, t int) (linalg.Vector, error) {
+	if len(p) != c.NumStates() {
+		return nil, fmt.Errorf("legacy: distribution length %d, want %d", len(p), c.NumStates())
+	}
+	out := linalg.NewVector(c.NumStates())
+	for id, mass := range p {
+		if mass == 0 {
+			continue
+		}
+		if c.IsAbsorbing(id) {
+			out[id] += mass
+			continue
+		}
+		for _, tr := range c.Transitions(id) {
+			pr := tr.Prob
+			if tr.Fn != nil {
+				pr = tr.Fn(t)
+			}
+			out[tr.To] += mass * pr
+		}
+	}
+	return out, nil
+}
+
+// varySplit returns a deterministic oscillating probability in
+// (0, share): the two halves of a time-varying edge pair sum to share at
+// every t, keeping the row stochastic.
+func varySplit(share float64, phase int) ProbFn {
+	return func(t int) float64 {
+		return share * (0.2 + 0.6*float64((t+phase)%5)/4)
+	}
+}
+
+// randomChain builds a seeded random chain: every non-absorbing row's
+// probabilities sum to one at all times. With withFn, some rows split a
+// share of their mass across a time-varying edge pair; the second return
+// reports whether any Fn edge was actually added.
+func randomChain(t *testing.T, rng *rand.Rand, withFn bool) (*Chain, bool) {
+	t.Helper()
+	c := New()
+	n := 3 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		c.MustAddState(fmt.Sprintf("s%d", i))
+	}
+	for i := 1; i < n; i++ {
+		if rng.Float64() < 0.2 {
+			if err := c.MarkAbsorbing(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hasFn := false
+	for i := 0; i < n; i++ {
+		if c.IsAbsorbing(i) {
+			continue
+		}
+		k := 1 + rng.Intn(4)
+		weights := make([]float64, k)
+		var sum float64
+		for j := range weights {
+			weights[j] = 0.05 + rng.Float64()
+			sum += weights[j]
+		}
+		for j := range weights {
+			weights[j] /= sum
+		}
+		targets := make([]int, k)
+		for j := range targets {
+			targets[j] = rng.Intn(n)
+		}
+		if withFn && k >= 2 && rng.Float64() < 0.7 {
+			share := weights[0] + weights[1]
+			f := varySplit(share, rng.Intn(7))
+			if err := c.AddTransitionFn(i, targets[0], f); err != nil {
+				t.Fatal(err)
+			}
+			err := c.AddTransitionFn(i, targets[1], func(t int) float64 { return share - f(t) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			hasFn = true
+			weights, targets = weights[2:], targets[2:]
+		}
+		for j := range weights {
+			if err := c.AddTransition(i, targets[j], weights[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	return c, hasFn
+}
+
+func randomDistribution(rng *rand.Rand, n int) linalg.Vector {
+	p := linalg.NewVector(n)
+	var sum float64
+	for i := range p {
+		p[i] = rng.Float64()
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// TestKernelMatchesLegacyStep is the randomized equivalence test: over
+// seeded homogeneous and ProbFn chains, Kernel.StepInto must match the
+// legacy per-edge walk to 1e-12 at every step of the horizon, and both
+// must conserve probability mass throughout.
+func TestKernelMatchesLegacyStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	const horizon = 40
+	for trial := 0; trial < 40; trial++ {
+		withFn := trial%2 == 1
+		c, hasFn := randomChain(t, rng, withFn)
+		k := c.Compile()
+		if k.Homogeneous() == hasFn {
+			t.Fatalf("trial %d: Homogeneous() = %v with hasFn = %v", trial, k.Homogeneous(), hasFn)
+		}
+		n := c.NumStates()
+		p0 := randomDistribution(rng, n)
+		legacy := p0.Clone()
+		cur, next := p0.Clone(), linalg.NewVector(n)
+		for s := 0; s < horizon; s++ {
+			var err error
+			if legacy, err = legacyStepAt(c, legacy, s); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.StepInto(next, cur, s); err != nil {
+				t.Fatal(err)
+			}
+			cur, next = next, cur
+			d, err := cur.MaxAbsDiff(legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > 1e-12 {
+				t.Fatalf("trial %d step %d: kernel vs legacy diverge by %v", trial, s, d)
+			}
+			if m := math.Abs(cur.Sum() - 1); m > 1e-12 {
+				t.Fatalf("trial %d step %d: kernel mass off by %v", trial, s, m)
+			}
+			if m := math.Abs(legacy.Sum() - 1); m > 1e-12 {
+				t.Fatalf("trial %d step %d: legacy mass off by %v", trial, s, m)
+			}
+		}
+		// The full-horizon driver must land on the same distribution.
+		final, err := k.Transient(p0, 0, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := final.MaxAbsDiff(legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-12 {
+			t.Fatalf("trial %d: Transient vs legacy diverge by %v", trial, d)
+		}
+	}
+}
+
+func TestKernelValidatesVaryingEdgesPerStep(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), -0.1, 1.5} {
+		name := fmt.Sprintf("%v", bad)
+		t.Run(name, func(t *testing.T) {
+			c := New()
+			a := c.MustAddState("a")
+			g := c.MustAddState("g")
+			if err := c.AddTransitionFn(a, g, func(t int) float64 {
+				if t < 2 {
+					return 1
+				}
+				return bad
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.MarkAbsorbing(g); err != nil {
+				t.Fatal(err)
+			}
+			// Validation at t = 0 sees only healthy values...
+			if err := c.Validate(1e-9); err != nil {
+				t.Fatal(err)
+			}
+			p0, _ := c.InitialDistribution(a)
+			// ... stepping before the defect works ...
+			if _, err := c.StepAt(p0, 1); err != nil {
+				t.Errorf("step at healthy t errored: %v", err)
+			}
+			// ... and the kernel surfaces the bad probability at t = 2.
+			if _, err := c.StepAt(p0, 2); err == nil {
+				t.Error("step at defective t should error")
+			}
+			if _, err := c.TransientAt(p0, 0, 5); err == nil {
+				t.Error("transient crossing defective t should error")
+			}
+		})
+	}
+}
+
+func TestKernelHomogeneousStepAllocatesNothing(t *testing.T) {
+	c := New()
+	up := c.MustAddState("UP")
+	down := c.MustAddState("DOWN")
+	for _, e := range []error{
+		c.AddTransition(up, up, 0.9),
+		c.AddTransition(up, down, 0.1),
+		c.AddTransition(down, up, 0.8),
+		c.AddTransition(down, down, 0.2),
+	} {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	k := c.Compile()
+	src := linalg.Vector{1, 0}
+	dst := linalg.NewVector(2)
+	tick := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := k.StepInto(dst, src, tick); err != nil {
+			t.Fatal(err)
+		}
+		src, dst = dst, src
+		tick++
+	})
+	if allocs != 0 {
+		t.Errorf("homogeneous StepInto allocates %v objects per step, want 0", allocs)
+	}
+}
+
+func TestKernelCacheInvalidatedByMutation(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	b := c.MustAddState("b")
+	if err := c.AddTransition(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	k1 := c.Compile()
+	if k1 != c.Compile() {
+		t.Error("Compile should cache the kernel between mutations")
+	}
+	if err := c.AddTransition(b, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	k2 := c.Compile()
+	if k1 == k2 {
+		t.Error("mutation must invalidate the compiled kernel")
+	}
+	if k2.NNZ() != 2 {
+		t.Errorf("recompiled kernel has %d edges, want 2", k2.NNZ())
+	}
+}
+
+func TestKernelAccessors(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	g := c.MustAddState("g")
+	if err := c.AddTransition(a, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkAbsorbing(g); err != nil {
+		t.Fatal(err)
+	}
+	k := c.Compile()
+	if k.NumStates() != 2 {
+		t.Errorf("NumStates() = %d, want 2", k.NumStates())
+	}
+	if k.NNZ() != 2 { // the edge plus the absorbing self-loop
+		t.Errorf("NNZ() = %d, want 2", k.NNZ())
+	}
+	if !k.Homogeneous() {
+		t.Error("fixed-probability chain should compile homogeneous")
+	}
+}
+
+func TestKernelStepErrors(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	if err := c.AddTransition(a, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	k := c.Compile()
+	if err := k.StepInto(linalg.NewVector(1), linalg.NewVector(2), 0); err == nil {
+		t.Error("wrong src length should error")
+	}
+	if err := k.StepInto(linalg.NewVector(2), linalg.NewVector(1), 0); err == nil {
+		t.Error("wrong dst length should error")
+	}
+	if _, err := k.Transient(linalg.NewVector(1), 0, -1); err == nil {
+		t.Error("negative steps should error")
+	}
+	if _, err := k.Transient(linalg.NewVector(2), 0, 1); err == nil {
+		t.Error("wrong p0 length should error")
+	}
+}
+
+func TestTransientObservedPropagatesObserverError(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	if err := c.AddTransition(a, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Errorf("observer says no")
+	_, err := c.Compile().TransientObserved(linalg.Vector{1}, 0, 3, func(s int, p linalg.Vector) error {
+		if s == 2 {
+			return want
+		}
+		return nil
+	})
+	if err != want {
+		t.Errorf("err = %v, want the observer's error", err)
+	}
+}
+
+// ladderChain builds an n-state absorbing chain shaped like the path
+// model's age ladder, for benchmarking.
+func ladderChain(b *testing.B, n int) (*Chain, int) {
+	b.Helper()
+	c := New()
+	for i := 0; i < n; i++ {
+		c.MustAddState(fmt.Sprintf("s%d", i))
+	}
+	if err := c.MarkAbsorbing(n - 1); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n-1; i++ {
+		next := i + 1
+		skip := i + 2
+		if skip >= n {
+			skip = n - 1
+		}
+		if next == skip {
+			if err := c.AddTransition(i, next, 1); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if err := c.AddTransition(i, next, 0.75); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AddTransition(i, skip, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Validate(1e-12); err != nil {
+		b.Fatal(err)
+	}
+	return c, 0
+}
+
+// BenchmarkKernelStepHomogeneous measures one compiled in-place step of a
+// 512-state homogeneous ladder: the hot loop, 0 allocs/op.
+func BenchmarkKernelStepHomogeneous(b *testing.B) {
+	c, start := ladderChain(b, 512)
+	k := c.Compile()
+	src, err := c.InitialDistribution(start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := linalg.NewVector(c.NumStates())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.StepInto(dst, src, i); err != nil {
+			b.Fatal(err)
+		}
+		src, dst = dst, src
+	}
+}
+
+// BenchmarkLegacyStepHomogeneous is the pre-kernel baseline on the same
+// chain, kept for comparison.
+func BenchmarkLegacyStepHomogeneous(b *testing.B) {
+	c, start := ladderChain(b, 512)
+	p, err := c.InitialDistribution(start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p, err = legacyStepAt(c, p, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package dtmc
 
 import (
 	"fmt"
+
+	"wirelesshart/internal/linalg"
 )
 
 // BoundedReachability computes the probabilistic bounded-until measure
@@ -34,6 +36,8 @@ func (c *Chain) BoundedReachability(start int, goals []int, t0, k int) (float64,
 	if err != nil {
 		return 0, err
 	}
+	kern := c.Compile()
+	next := linalg.NewVector(len(c.names))
 	var reached float64
 	absorb := func() {
 		for g := range goalSet {
@@ -43,9 +47,10 @@ func (c *Chain) BoundedReachability(start int, goals []int, t0, k int) (float64,
 	}
 	absorb()
 	for step := 0; step < k; step++ {
-		if p, err = c.StepAt(p, t0+step); err != nil {
+		if err := kern.StepInto(next, p, t0+step); err != nil {
 			return 0, err
 		}
+		p, next = next, p
 		absorb()
 	}
 	return reached, nil

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"wirelesshart/internal/core"
 	"wirelesshart/internal/link"
 	"wirelesshart/internal/measures"
 	"wirelesshart/internal/pathmodel"
@@ -45,6 +46,9 @@ type Engine struct {
 	peerMu    sync.Mutex
 	peerCache *lruCache // peer-path solves reused across predictions
 
+	kernelMu    sync.Mutex
+	kernelCache *lruCache // core.PathKey -> *pathmodel.Model with compiled kernel
+
 	metrics *Metrics
 }
 
@@ -64,13 +68,40 @@ func New(cfg Config) *Engine {
 		cfg.CacheSize = 256
 	}
 	return &Engine{
-		workers:   cfg.Workers,
-		sem:       make(chan struct{}, cfg.Workers),
-		cache:     newLRU(cfg.CacheSize),
-		inflight:  map[string]*call{},
-		peerCache: newLRU(cfg.CacheSize),
-		metrics:   newMetrics(),
+		workers:     cfg.Workers,
+		sem:         make(chan struct{}, cfg.Workers),
+		cache:       newLRU(cfg.CacheSize),
+		inflight:    map[string]*call{},
+		peerCache:   newLRU(cfg.CacheSize),
+		kernelCache: newLRU(cfg.CacheSize),
+		metrics:     newMetrics(),
 	}
+}
+
+// kernels is the engine's view of its compiled-kernel cache as a
+// core.PathModelCache: scenario solves and peer-path predictions that
+// realize identical path DTMCs (same slots, frame, interval, TTL and link
+// parameters) share one built model and its compiled kernel, skipping both
+// Algorithm 1 construction and kernel compilation. Hits and misses are
+// exported through /metrics.
+type kernels struct{ e *Engine }
+
+func (k kernels) GetModel(key string) (*pathmodel.Model, bool) {
+	k.e.kernelMu.Lock()
+	v, ok := k.e.kernelCache.get(key)
+	k.e.kernelMu.Unlock()
+	if !ok {
+		k.e.metrics.kernelMisses.Add(1)
+		return nil, false
+	}
+	k.e.metrics.kernelHits.Add(1)
+	return v.(*pathmodel.Model), true
+}
+
+func (k kernels) PutModel(key string, m *pathmodel.Model) {
+	k.e.kernelMu.Lock()
+	k.e.kernelCache.add(key, m)
+	k.e.kernelMu.Unlock()
 }
 
 // DelayPoint is one support point of a delay distribution.
@@ -133,6 +164,9 @@ func (e *Engine) MetricsSnapshot() Snapshot {
 	s.CacheLen = e.cache.len()
 	s.CacheCap = e.cache.cap
 	e.mu.Unlock()
+	e.kernelMu.Lock()
+	s.KernelCacheLen = e.kernelCache.len()
+	e.kernelMu.Unlock()
 	s.Workers = e.workers
 	return s
 }
@@ -193,7 +227,7 @@ func (e *Engine) solve(ctx context.Context, s *spec.Spec, key string) (*Result, 
 	defer e.metrics.inFlight.Add(-1)
 
 	start := time.Now()
-	built, err := s.Build()
+	built, err := s.BuildWith(core.WithPathModelCache(kernels{e}))
 	if err != nil {
 		e.metrics.errors.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrBadScenario, err)
@@ -330,7 +364,8 @@ func (e *Engine) PredictRanked(ctx context.Context, s *spec.Spec, cands []Candid
 
 // peerSolve solves (or reuses) the DTMC of a standalone peer path scheduled
 // in the first consecutive slots of its own frame, as the paper's peer
-// paths are. Solutions are cached by (Eb/N0s, Fup, Is, bits).
+// paths are. Solutions are cached by (Eb/N0s, Fup, Is, bits); on a result
+// miss the built model is still shared through the engine's kernel cache.
 func (e *Engine) peerSolve(ebN0s []float64, fup, is, bits int) (*pathmodel.Result, error) {
 	var sb strings.Builder
 	for _, x := range ebN0s {
@@ -348,18 +383,30 @@ func (e *Engine) peerSolve(ebN0s []float64, fup, is, bits int) (*pathmodel.Resul
 	}
 
 	slots := make([]int, len(ebN0s))
-	avails := make([]link.Availability, len(ebN0s))
+	models := make([]link.Model, len(ebN0s))
 	for i, x := range ebN0s {
 		m, err := link.FromEbN0(x, bits, link.DefaultRecoveryProb)
 		if err != nil {
 			return nil, fmt.Errorf("%w: peer hop %d: %v", ErrBadScenario, i+1, err)
 		}
 		slots[i] = i + 1
-		avails[i] = m.Steady()
+		models[i] = m
 	}
-	m, err := pathmodel.Build(pathmodel.Config{Slots: slots, Fup: fup, Is: is, Links: avails})
-	if err != nil {
-		return nil, fmt.Errorf("%w: peer path: %v", ErrBadScenario, err)
+	kc := kernels{e}
+	pathKey := core.PathKey(slots, fup, is, 0, models)
+	m, ok := kc.GetModel(pathKey)
+	if !ok {
+		avails := make([]link.Availability, len(models))
+		for i, lm := range models {
+			avails[i] = lm.Steady()
+		}
+		var err error
+		m, err = pathmodel.Build(pathmodel.Config{Slots: slots, Fup: fup, Is: is, Links: avails})
+		if err != nil {
+			return nil, fmt.Errorf("%w: peer path: %v", ErrBadScenario, err)
+		}
+		m.Compile()
+		kc.PutModel(pathKey, m)
 	}
 	res, err := m.Solve()
 	if err != nil {

@@ -285,3 +285,45 @@ func TestMetricsLatency(t *testing.T) {
 		t.Errorf("snapshot sizing not populated: %+v", snap)
 	}
 }
+
+// TestKernelCacheSharesPathModels checks the compiled-kernel cache: a cold
+// solve misses once per path, and a second scenario with a different
+// downlink frame (distinct scenario key, identical uplink path chains)
+// reuses every compiled model.
+func TestKernelCacheSharesPathModels(t *testing.T) {
+	eng := New(Config{})
+	ctx := context.Background()
+
+	first, err := eng.Evaluate(ctx, spec.TypicalSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.MetricsSnapshot()
+	if snap.KernelCacheMisses == 0 {
+		t.Fatal("cold solve should compile kernels")
+	}
+	if snap.KernelCacheLen == 0 {
+		t.Error("kernel cache empty after cold solve")
+	}
+	misses, hits := snap.KernelCacheMisses, snap.KernelCacheHits
+
+	warm := spec.TypicalSpec()
+	warm.Fdown = 9 // new scenario key, same uplink path models
+	second, err := eng.Evaluate(ctx, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = eng.MetricsSnapshot()
+	if snap.KernelCacheMisses != misses {
+		t.Errorf("warm solve compiled %d new kernels, want 0", snap.KernelCacheMisses-misses)
+	}
+	if got := snap.KernelCacheHits - hits; got != int64(len(second.Paths)) {
+		t.Errorf("warm solve hit the kernel cache %d times, want %d", got, len(second.Paths))
+	}
+	for i := range first.Paths {
+		if !almostEqual(first.Paths[i].Reachability, second.Paths[i].Reachability, 1e-15) {
+			t.Errorf("%s: cached-kernel reachability %v, want %v",
+				second.Paths[i].Source, second.Paths[i].Reachability, first.Paths[i].Reachability)
+		}
+	}
+}

@@ -12,12 +12,14 @@ var latencyBucketsMS = []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500
 // Metrics counts the engine's work. All methods are safe for concurrent
 // use; counters only ever increase, InFlight is a gauge.
 type Metrics struct {
-	solves      atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	deduped     atomic.Int64
-	errors      atomic.Int64
-	inFlight    atomic.Int64
+	solves       atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	deduped      atomic.Int64
+	errors       atomic.Int64
+	inFlight     atomic.Int64
+	kernelHits   atomic.Int64
+	kernelMisses atomic.Int64
 
 	latCount   atomic.Int64
 	latSumUS   atomic.Int64 // microseconds, for the mean
@@ -43,6 +45,14 @@ func (m *Metrics) Deduped() int64 { return m.deduped.Load() }
 
 // InFlight returns the number of solves currently running.
 func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
+// KernelCacheHits returns the number of path-model builds served from the
+// compiled-kernel cache.
+func (m *Metrics) KernelCacheHits() int64 { return m.kernelHits.Load() }
+
+// KernelCacheMisses returns the number of path-model builds that had to
+// construct and compile a fresh kernel.
+func (m *Metrics) KernelCacheMisses() int64 { return m.kernelMisses.Load() }
 
 func (m *Metrics) observeLatency(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
@@ -90,26 +100,31 @@ type LatencySnapshot struct {
 
 // Snapshot is a point-in-time copy of all engine metrics, ready for JSON.
 type Snapshot struct {
-	Solves      int64           `json:"solves"`
-	CacheHits   int64           `json:"cacheHits"`
-	CacheMisses int64           `json:"cacheMisses"`
-	Deduped     int64           `json:"deduped"`
-	Errors      int64           `json:"errors"`
-	InFlight    int64           `json:"inFlight"`
-	CacheLen    int             `json:"cacheLen"`
-	CacheCap    int             `json:"cacheCap"`
-	Workers     int             `json:"workers"`
-	SolveTime   LatencySnapshot `json:"solveTime"`
+	Solves            int64           `json:"solves"`
+	CacheHits         int64           `json:"cacheHits"`
+	CacheMisses       int64           `json:"cacheMisses"`
+	Deduped           int64           `json:"deduped"`
+	Errors            int64           `json:"errors"`
+	InFlight          int64           `json:"inFlight"`
+	KernelCacheHits   int64           `json:"kernelCacheHits"`
+	KernelCacheMisses int64           `json:"kernelCacheMisses"`
+	KernelCacheLen    int             `json:"kernelCacheLen"`
+	CacheLen          int             `json:"cacheLen"`
+	CacheCap          int             `json:"cacheCap"`
+	Workers           int             `json:"workers"`
+	SolveTime         LatencySnapshot `json:"solveTime"`
 }
 
 func (m *Metrics) snapshot() Snapshot {
 	s := Snapshot{
-		Solves:      m.solves.Load(),
-		CacheHits:   m.cacheHits.Load(),
-		CacheMisses: m.cacheMisses.Load(),
-		Deduped:     m.deduped.Load(),
-		Errors:      m.errors.Load(),
-		InFlight:    m.inFlight.Load(),
+		Solves:            m.solves.Load(),
+		CacheHits:         m.cacheHits.Load(),
+		CacheMisses:       m.cacheMisses.Load(),
+		Deduped:           m.deduped.Load(),
+		Errors:            m.errors.Load(),
+		InFlight:          m.inFlight.Load(),
+		KernelCacheHits:   m.kernelHits.Load(),
+		KernelCacheMisses: m.kernelMisses.Load(),
 	}
 	s.SolveTime.Count = m.latCount.Load()
 	if s.SolveTime.Count > 0 {

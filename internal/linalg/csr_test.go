@@ -1,0 +1,163 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildCSR assembles a CSR from dense rows, keeping explicit zeros out.
+func buildCSR(t *testing.T, rows [][]float64) *CSR {
+	t.Helper()
+	nr := len(rows)
+	nc := 0
+	if nr > 0 {
+		nc = len(rows[0])
+	}
+	rowPtr := make([]int, nr+1)
+	var col []int
+	var val []float64
+	for i, r := range rows {
+		for j, v := range r {
+			if v != 0 {
+				col = append(col, j)
+				val = append(val, v)
+			}
+		}
+		rowPtr[i+1] = len(col)
+	}
+	m, err := NewCSR(nr, nc, rowPtr, col, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewCSRValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		rows   int
+		cols   int
+		rowPtr []int
+		col    []int
+		val    []float64
+	}{
+		{name: "negative dims", rows: -1, cols: 2, rowPtr: []int{0}, col: nil, val: nil},
+		{name: "short rowPtr", rows: 2, cols: 2, rowPtr: []int{0, 1}, col: []int{0}, val: []float64{1}},
+		{name: "col/val mismatch", rows: 1, cols: 2, rowPtr: []int{0, 1}, col: []int{0}, val: []float64{1, 2}},
+		{name: "rowPtr not starting at zero", rows: 1, cols: 2, rowPtr: []int{1, 1}, col: []int{0}, val: []float64{1}},
+		{name: "rowPtr not ending at nnz", rows: 1, cols: 2, rowPtr: []int{0, 2}, col: []int{0}, val: []float64{1}},
+		{name: "decreasing rowPtr", rows: 2, cols: 2, rowPtr: []int{0, 2, 1}, col: []int{0, 1}, val: []float64{1, 2}},
+		{name: "column out of range", rows: 1, cols: 2, rowPtr: []int{0, 1}, col: []int{2}, val: []float64{1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewCSR(tt.rows, tt.cols, tt.rowPtr, tt.col, tt.val); err == nil {
+				t.Error("NewCSR should reject invalid layout")
+			}
+		})
+	}
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, n)
+			for j := range rows[i] {
+				if rng.Float64() < 0.3 {
+					rows[i][j] = rng.Float64()
+				}
+			}
+		}
+		sparse := buildCSR(t, rows)
+		dense, err := FromRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := NewVector(n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		want, err := dense.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := NewVector(n)
+		if err := sparse.MulVecInto(got, x); err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-14 {
+				t.Fatalf("trial %d: entry %d = %v, dense %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestCSRMulVecOverwritesDst(t *testing.T) {
+	m := buildCSR(t, [][]float64{{0.5, 0.5}, {0, 1}})
+	dst := Vector{7, 7}
+	if err := m.MulVecInto(dst, Vector{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0.5 || dst[1] != 0.5 {
+		t.Errorf("dst = %v, want [0.5 0.5]", dst)
+	}
+}
+
+func TestCSRMulVecDimensionErrors(t *testing.T) {
+	m := buildCSR(t, [][]float64{{1, 0}, {0, 1}})
+	if err := m.MulVecInto(NewVector(2), NewVector(3)); err == nil {
+		t.Error("wrong x length should error")
+	}
+	if err := m.MulVecInto(NewVector(3), NewVector(2)); err == nil {
+		t.Error("wrong dst length should error")
+	}
+}
+
+func TestCSRRowAndValuesAreViews(t *testing.T) {
+	m := buildCSR(t, [][]float64{{0, 0.25, 0.75}, {1, 0, 0}})
+	cols, vals := m.Row(0)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 2 {
+		t.Fatalf("row 0 cols = %v, want [1 2]", cols)
+	}
+	vals[0] = 0.1 // in-place update, the time-varying-edge path
+	if m.Values()[0] != 0.1 {
+		t.Error("Row values should alias the backing array")
+	}
+	out := NewVector(3)
+	if err := m.MulVecInto(out, Vector{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if out[1] != 0.1 {
+		t.Errorf("updated entry not used: out = %v", out)
+	}
+}
+
+func TestCSRDense(t *testing.T) {
+	rows := [][]float64{{0, 0.5, 0.5}, {0, 0, 1}, {1, 0, 0}}
+	d := buildCSR(t, rows).Dense()
+	for i := range rows {
+		for j := range rows[i] {
+			if d.At(i, j) != rows[i][j] {
+				t.Errorf("dense[%d][%d] = %v, want %v", i, j, d.At(i, j), rows[i][j])
+			}
+		}
+	}
+}
+
+func TestCSREmpty(t *testing.T) {
+	m, err := NewCSR(0, 0, []int{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 || m.NNZ() != 0 {
+		t.Error("empty CSR should have zero dims")
+	}
+	if err := m.MulVecInto(Vector{}, Vector{}); err != nil {
+		t.Error("empty multiply should succeed")
+	}
+}

@@ -1,0 +1,74 @@
+package pathmodel
+
+import (
+	"testing"
+
+	"wirelesshart/internal/link"
+)
+
+// benchConfig returns an Is-cycle variant of the Section V-A example path
+// (3 hops in slots 3, 6, 7 of a 7-slot frame, homogeneous steady links).
+func benchConfig(b *testing.B, is int) Config {
+	b.Helper()
+	m, err := link.FromAvailability(0.75, link.DefaultRecoveryProb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Config{
+		Slots: []int{3, 6, 7},
+		Fup:   7,
+		Is:    is,
+		Links: []link.Availability{m.Steady(), m.Steady(), m.Steady()},
+	}
+}
+
+// BenchmarkPathSolve measures one transient solve of a pre-built
+// homogeneous path model (the engine's hot loop) excluding construction.
+func BenchmarkPathSolve(b *testing.B) {
+	for _, is := range []int{4, 16, 64} {
+		b.Run(map[int]string{4: "Is4", 16: "Is16", 64: "Is64"}[is], func(b *testing.B) {
+			m, err := Build(benchConfig(b, is))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathBuildAndSolve includes model construction, the cold-cache
+// cost the engine pays on a scenario miss.
+func BenchmarkPathBuildAndSolve(b *testing.B) {
+	cfg := benchConfig(b, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGoalTrajectories measures the full-horizon trajectory recording
+// behind the paper's Fig. 6 curves.
+func BenchmarkGoalTrajectories(b *testing.B) {
+	m, err := Build(benchConfig(b, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.GoalTrajectories(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package pathmodel
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"wirelesshart/internal/dtmc"
@@ -99,6 +100,9 @@ type Model struct {
 	// transmit[id] describes the transmission out of transient state id,
 	// if any (used for exact utilization accounting).
 	transmit map[int]hopAttempt
+	// transmitIDs is the sorted id list of transmitting states — the
+	// precomputed mask the solver sums over per step.
+	transmitIDs []int
 	// timeOf[id] is the age t of transient state id.
 	timeOf map[int]int
 }
@@ -230,6 +234,10 @@ func Build(cfg Config) (*Model, error) {
 	if err := m.chain.Validate(1e-9); err != nil {
 		return nil, fmt.Errorf("pathmodel: constructed chain invalid: %w", err)
 	}
+	for id := range m.transmit {
+		m.transmitIDs = append(m.transmitIDs, id)
+	}
+	sort.Ints(m.transmitIDs)
 	return m, nil
 }
 
@@ -249,6 +257,12 @@ func stateName(t, h, n int) string {
 
 // Chain returns the underlying DTMC.
 func (m *Model) Chain() *dtmc.Chain { return m.chain }
+
+// Compile returns the model's compiled solver kernel. Path-model chains
+// bake their probabilities at construction time, so the kernel is always
+// homogeneous and safe to share across concurrent solves; the evaluation
+// engine caches models with their kernels on the strength of this.
+func (m *Model) Compile() *dtmc.Kernel { return m.chain.Compile() }
 
 // InitialState returns the id of the initial state (message born at the
 // source, age 0).

@@ -50,28 +50,29 @@ func (r *Result) Clone() *Result {
 
 // Solve runs the transient analysis p(t) = p(t-1) P(t) to the end of the
 // reporting interval and extracts the cycle probabilities, discard
-// probability and exact expected attempt count.
+// probability and exact expected attempt count. The step loop runs on the
+// compiled kernel with two reused buffers: a homogeneous chain allocates
+// nothing per step.
 func (m *Model) Solve() (*Result, error) {
 	horizon := m.cfg.Is * m.cfg.Fup
-	p, err := m.chain.InitialDistribution(m.initial)
+	p0, err := m.chain.InitialDistribution(m.initial)
 	if err != nil {
 		return nil, err
 	}
 	var attempts float64
-	for t := 0; t < horizon; t++ {
+	p, err := m.Compile().TransientObserved(p0, 0, horizon, func(t int, dist linalg.Vector) error {
 		// Mass sitting in a transmitting state at time t attempts a
-		// transmission during slot t+1.
-		for id, mass := range p {
-			if mass == 0 {
-				continue
-			}
-			if _, ok := m.transmit[id]; ok {
-				attempts += mass
+		// transmission during slot t+1; the final distribution makes no
+		// further attempt.
+		if t < horizon {
+			for _, id := range m.transmitIDs {
+				attempts += dist[id]
 			}
 		}
-		if p, err = m.chain.StepAt(p, t); err != nil {
-			return nil, err
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{
 		CycleProbs: make([]float64, len(m.goals)),
@@ -103,7 +104,7 @@ func (m *Model) Solve() (*Result, error) {
 // slice is indexed [goal][age].
 func (m *Model) GoalTrajectories() ([][]float64, error) {
 	horizon := m.cfg.Is * m.cfg.Fup
-	p, err := m.chain.InitialDistribution(m.initial)
+	p0, err := m.chain.InitialDistribution(m.initial)
 	if err != nil {
 		return nil, err
 	}
@@ -111,17 +112,14 @@ func (m *Model) GoalTrajectories() ([][]float64, error) {
 	for i := range out {
 		out[i] = make([]float64, horizon+1)
 	}
-	record := func(t int, dist linalg.Vector) {
+	_, err = m.Compile().TransientObserved(p0, 0, horizon, func(t int, dist linalg.Vector) error {
 		for i, id := range m.goals {
 			out[i][t] = dist[id]
 		}
-	}
-	record(0, p)
-	for t := 0; t < horizon; t++ {
-		if p, err = m.chain.StepAt(p, t); err != nil {
-			return nil, err
-		}
-		record(t+1, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -145,6 +145,12 @@ type Built struct {
 // Build validates the spec and constructs the network, schedule and
 // analyzer.
 func (s *Spec) Build() (*Built, error) {
+	return s.BuildWith()
+}
+
+// BuildWith is Build with extra analyzer options appended — the hook the
+// evaluation engine uses to inject its shared path-model cache.
+func (s *Spec) BuildWith(extra ...core.Option) (*Built, error) {
 	if len(s.Nodes) == 0 {
 		return nil, errors.New("spec: no nodes")
 	}
@@ -236,6 +242,7 @@ func (s *Spec) Build() (*Built, error) {
 	for lid, av := range injections {
 		opts = append(opts, core.WithLinkAvailability(lid, av))
 	}
+	opts = append(opts, extra...)
 	an, err := core.New(net, sched, opts...)
 	if err != nil {
 		return nil, err
