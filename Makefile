@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+# Minimum statement coverage for the solver-critical packages.
+COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core
+COVER_MIN  = 85
+
+.PHONY: all build test race vet bench cover clean
 
 all: build vet test
 
@@ -18,6 +22,15 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	@$(GO) test -coverprofile=coverage.out $(COVER_PKGS)
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	ok=$$(awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN {print (t+0 >= m+0) ? 1 : 0}'); \
+	if [ "$$ok" != "1" ]; then \
+		echo "coverage $$total% below minimum $(COVER_MIN)%"; exit 1; \
+	fi
 
 clean:
 	$(GO) clean ./...

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	whart-server [-addr :8080] [-workers N] [-cache N] [-timeout 30s]
+//	whart-server [-addr :8080] [-workers N] [-cache N] [-structcache N] [-timeout 30s]
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -46,7 +46,7 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "whart-server: ", log.LstdFlags)
-	eng := engine.New(engine.Config{Workers: cfg.workers, CacheSize: cfg.cache})
+	eng := engine.New(engine.Config{Workers: cfg.workers, CacheSize: cfg.cache, StructCacheSize: cfg.structCache})
 	logger.Printf("listening on %s (workers=%d cache=%d timeout=%s)",
 		ln.Addr(), eng.MetricsSnapshot().Workers, eng.MetricsSnapshot().CacheCap, cfg.timeout)
 	if err := serve(ctx, ln, engine.NewHandler(eng, cfg.timeout), logger); err != nil {
@@ -55,10 +55,11 @@ func main() {
 }
 
 type config struct {
-	addr    string
-	workers int
-	cache   int
-	timeout time.Duration
+	addr        string
+	workers     int
+	cache       int
+	structCache int
+	timeout     time.Duration
 }
 
 func parseFlags(args []string) (config, error) {
@@ -67,6 +68,7 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&cfg.workers, "workers", 0, "max concurrent DTMC solves (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.cache, "cache", 0, "scenario cache capacity (0 = default 256)")
+	fs.IntVar(&cfg.structCache, "structcache", 0, "path-structure cache capacity (0 = same as -cache)")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request evaluation timeout (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -74,8 +76,8 @@ func parseFlags(args []string) (config, error) {
 	if fs.NArg() > 0 {
 		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if cfg.workers < 0 || cfg.cache < 0 || cfg.timeout < 0 {
-		return config{}, errors.New("workers, cache and timeout must be non-negative")
+	if cfg.workers < 0 || cfg.cache < 0 || cfg.structCache < 0 || cfg.timeout < 0 {
+		return config{}, errors.New("workers, cache, structcache and timeout must be non-negative")
 	}
 	return cfg, nil
 }

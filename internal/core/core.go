@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"wirelesshart/internal/link"
 	"wirelesshart/internal/measures"
@@ -33,6 +34,14 @@ type Analyzer struct {
 	overrides map[topology.LinkID]link.Availability
 	sources   []topology.NodeID
 	cache     PathModelCache
+	structs   StructureCache
+
+	// localStructs memoizes built structures within this analyzer so the
+	// paths of one analysis — and the perturbed re-analyses of a
+	// sensitivity sweep — share each geometry's state space even without
+	// an external StructureCache.
+	structMu     sync.Mutex
+	localStructs map[string]*pathmodel.Structure
 }
 
 // PathModelCache shares built (and kernel-compiled) path models across
@@ -42,6 +51,19 @@ type Analyzer struct {
 type PathModelCache interface {
 	GetModel(key string) (*pathmodel.Model, bool)
 	PutModel(key string, m *pathmodel.Model)
+}
+
+// StructureCache shares link-model-free path structures across analyses
+// keyed by pathmodel.StructKey. A structure captures everything Algorithm
+// 1 derives from the schedule geometry — states, goal/discard ids, the
+// transmit mask and the frozen CSR sparsity pattern — so scenarios that
+// only differ in link quality or failure injections bind their values
+// onto one shared structure instead of rebuilding the chain.
+// Implementations must be safe for concurrent use; structures are
+// immutable after construction.
+type StructureCache interface {
+	GetStructure(key string) (*pathmodel.Structure, bool)
+	PutStructure(key string, s *pathmodel.Structure)
 }
 
 // PathKey is the canonical identity of a steady-state path DTMC: the
@@ -138,11 +160,24 @@ func WithLinkAvailability(id topology.LinkID, av link.Availability) Option {
 
 // WithPathModelCache shares built path models (with their compiled solver
 // kernels) across analyzers through the given cache — the evaluation
-// engine's kernel cache. Only paths without availability overrides are
-// cached; failure injections always rebuild.
+// engine's bound-kernel cache. Only paths without availability overrides
+// are cached at this value level; failure injections skip it but still
+// reuse cached structures (see WithStructureCache), so an injection
+// scenario costs one value bind instead of a full rebuild.
 func WithPathModelCache(cache PathModelCache) Option {
 	return func(a *Analyzer) error {
 		a.cache = cache
+		return nil
+	}
+}
+
+// WithStructureCache shares link-model-free path structures across
+// analyzers through the given cache — the evaluation engine's structure
+// cache. Every build consults it, availability overrides included: the
+// structure depends only on the schedule geometry.
+func WithStructureCache(cache StructureCache) Option {
+	return func(a *Analyzer) error {
+		a.structs = cache
 		return nil
 	}
 }
@@ -177,14 +212,15 @@ func New(net *topology.Network, sched schedule.Plan, opts ...Option) (*Analyzer,
 		return nil, err
 	}
 	a := &Analyzer{
-		net:       net,
-		routes:    routes,
-		sched:     sched,
-		is:        4,
-		fdown:     -1, // resolved to Fup below unless set
-		uniform:   def,
-		models:    map[topology.LinkID]link.Model{},
-		overrides: map[topology.LinkID]link.Availability{},
+		net:          net,
+		routes:       routes,
+		sched:        sched,
+		is:           4,
+		fdown:        -1, // resolved to Fup below unless set
+		uniform:      def,
+		models:       map[topology.LinkID]link.Model{},
+		overrides:    map[topology.LinkID]link.Availability{},
+		localStructs: map[string]*pathmodel.Structure{},
 	}
 	for _, opt := range opts {
 		if err := opt(a); err != nil {
@@ -260,8 +296,50 @@ type PathAnalysis struct {
 // BuildPathModel constructs the path DTMC for one source under the
 // analyzer's configuration, reusing a cached (kernel-compiled) model when
 // a PathModelCache is configured and every hop runs on its model's
-// steady-state availability.
+// steady-state availability. All builds — failure injections included —
+// bind their values onto a structure shared per schedule geometry.
 func (a *Analyzer) BuildPathModel(source topology.NodeID) (*pathmodel.Model, error) {
+	return a.buildPathModelWith(source, nil)
+}
+
+// structureFor returns the path structure for one schedule geometry,
+// consulting the analyzer-local memo first and the shared StructureCache
+// second; a freshly built structure is published to both.
+func (a *Analyzer) structureFor(slots []int, ttl int) (*pathmodel.Structure, error) {
+	key := pathmodel.StructKey(slots, a.sched.Fup(), a.is, ttl)
+	a.structMu.Lock()
+	st, ok := a.localStructs[key]
+	a.structMu.Unlock()
+	if ok {
+		return st, nil
+	}
+	if a.structs != nil {
+		if st, ok := a.structs.GetStructure(key); ok {
+			a.structMu.Lock()
+			a.localStructs[key] = st
+			a.structMu.Unlock()
+			return st, nil
+		}
+	}
+	st, err := pathmodel.BuildStructure(slots, a.sched.Fup(), a.is, ttl)
+	if err != nil {
+		return nil, err
+	}
+	a.structMu.Lock()
+	a.localStructs[key] = st
+	a.structMu.Unlock()
+	if a.structs != nil {
+		a.structs.PutStructure(key, st)
+	}
+	return st, nil
+}
+
+// buildPathModelWith builds one source's model, resolving per-link
+// availabilities through availOf when non-nil (the sensitivity sweep's
+// side-effect-free perturbations) and through the analyzer's configuration
+// otherwise. Only the default resolution may touch the value-level model
+// cache; the structural state space is shared either way.
+func (a *Analyzer) buildPathModelWith(source topology.NodeID, availOf func(topology.LinkID) link.Availability) (*pathmodel.Model, error) {
 	p, ok := a.routes[source]
 	if !ok {
 		return nil, fmt.Errorf("core: no route for source %d", source)
@@ -271,7 +349,7 @@ func (a *Analyzer) BuildPathModel(source topology.NodeID) (*pathmodel.Model, err
 		return nil, fmt.Errorf("core: source %d has %d slots for %d hops", source, len(slots), p.Hops())
 	}
 	key := ""
-	if a.cache != nil {
+	if a.cache != nil && availOf == nil {
 		if models, cacheable := a.pathModels(p); cacheable {
 			key = PathKey(slots, a.sched.Fup(), a.is, a.ttl, models)
 			if m, ok := a.cache.GetModel(key); ok {
@@ -279,22 +357,22 @@ func (a *Analyzer) BuildPathModel(source topology.NodeID) (*pathmodel.Model, err
 			}
 		}
 	}
+	st, err := a.structureFor(slots, a.ttl)
+	if err != nil {
+		return nil, err
+	}
+	if availOf == nil {
+		availOf = a.availability
+	}
 	avails := make([]link.Availability, p.Hops())
 	for h, lid := range p.Links() {
-		avails[h] = a.availability(lid)
+		avails[h] = availOf(lid)
 	}
-	m, err := pathmodel.Build(pathmodel.Config{
-		Slots: slots,
-		Fup:   a.sched.Fup(),
-		Is:    a.is,
-		TTL:   a.ttl,
-		Links: avails,
-	})
+	m, err := st.Bind(avails)
 	if err != nil {
 		return nil, err
 	}
 	if key != "" {
-		m.Compile() // share kernels eagerly, not under a future solve
 		a.cache.PutModel(key, m)
 	}
 	return m, nil
@@ -315,7 +393,12 @@ func (a *Analyzer) pathModels(p topology.Path) ([]link.Model, bool) {
 
 // AnalyzePath solves one source's path model and derives its measures.
 func (a *Analyzer) AnalyzePath(source topology.NodeID) (*PathAnalysis, error) {
-	m, err := a.BuildPathModel(source)
+	return a.analyzePathWith(source, nil)
+}
+
+// analyzePathWith is AnalyzePath under an optional availability resolver.
+func (a *Analyzer) analyzePathWith(source topology.NodeID, availOf func(topology.LinkID) link.Availability) (*PathAnalysis, error) {
+	m, err := a.buildPathModelWith(source, availOf)
 	if err != nil {
 		return nil, err
 	}
@@ -357,11 +440,18 @@ type NetworkAnalysis struct {
 
 // Analyze solves every reporting source's path in the network.
 func (a *Analyzer) Analyze() (*NetworkAnalysis, error) {
+	return a.analyzeWith(nil)
+}
+
+// analyzeWith is Analyze under an optional availability resolver: the
+// sensitivity sweep perturbs link values through it without mutating the
+// analyzer's configuration.
+func (a *Analyzer) analyzeWith(availOf func(topology.LinkID) link.Availability) (*NetworkAnalysis, error) {
 	sources := a.sources
 	out := &NetworkAnalysis{}
 	var results []*pathmodel.Result
 	for _, src := range sources {
-		pa, err := a.AnalyzePath(src)
+		pa, err := a.analyzePathWith(src, availOf)
 		if err != nil {
 			return nil, fmt.Errorf("core: path from %d: %w", src, err)
 		}
@@ -413,12 +503,11 @@ func (a *Analyzer) PredictPeerComposition(via topology.NodeID, peerModels []link
 		slots[i] = i + 1
 		avails[i] = m.Steady()
 	}
-	peer, err := pathmodel.Build(pathmodel.Config{
-		Slots: slots,
-		Fup:   a.sched.Fup(),
-		Is:    a.is,
-		Links: avails,
-	})
+	st, err := a.structureFor(slots, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	peer, err := st.Bind(avails)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -5,7 +5,6 @@ import (
 
 	"wirelesshart/internal/link"
 	"wirelesshart/internal/measures"
-	"wirelesshart/internal/pathmodel"
 	"wirelesshart/internal/topology"
 )
 
@@ -33,13 +32,13 @@ func (a *Analyzer) AnalyzeRoundTrip(source topology.NodeID) (*measures.RoundTrip
 	for i := range linkIDs {
 		avails[i] = a.availability(linkIDs[len(linkIDs)-1-i])
 	}
-	down, err := pathmodel.Build(pathmodel.Config{
-		Slots: slots,
-		Fup:   a.sched.Fup(),
-		Is:    a.is,
-		TTL:   a.ttl,
-		Links: avails,
-	})
+	// The mirrored downlink shares the uplink's schedule geometry, so its
+	// chain binds onto the same cached structure.
+	st, err := a.structureFor(slots, a.ttl)
+	if err != nil {
+		return nil, err
+	}
+	down, err := st.Bind(avails)
 	if err != nil {
 		return nil, err
 	}

@@ -32,8 +32,13 @@ type LinkSensitivity struct {
 // SensitivityAnalysis perturbs every link in turn, raising its stationary
 // availability by delta (capped at 1), and reports the links ranked by the
 // resulting mean-reachability gain (worst-path gain is reported
-// alongside). Links with availability overrides (failure injections) are
-// perturbed on their underlying model.
+// alongside). A link's availability override (failure injection) keeps
+// masking the perturbation, matching the analyzer's normal resolution
+// order. The sweep is side-effect-free: each perturbation is a value
+// rebind through a per-call availability resolver, so the analyzer's
+// configured models and overrides are never touched and every perturbed
+// analysis reuses the cached path structures instead of re-running
+// Algorithm 1.
 func (a *Analyzer) SensitivityAnalysis(delta float64) ([]LinkSensitivity, error) {
 	if delta <= 0 || delta >= 1 {
 		return nil, fmt.Errorf("core: sensitivity delta %v out of (0,1)", delta)
@@ -56,15 +61,17 @@ func (a *Analyzer) SensitivityAnalysis(delta float64) ([]LinkSensitivity, error)
 		if err != nil {
 			return nil, err
 		}
-		// Temporarily swap the model; restore afterwards.
-		prev, hadPrev := a.models[l.ID]
-		a.models[l.ID] = improved
-		na, err := a.Analyze()
-		if hadPrev {
-			a.models[l.ID] = prev
-		} else {
-			delete(a.models, l.ID)
-		}
+		steady := improved.Steady()
+		target := l.ID
+		na, err := a.analyzeWith(func(id topology.LinkID) link.Availability {
+			if id == target {
+				if av, ok := a.overrides[id]; ok {
+					return av // injections mask the perturbation
+				}
+				return steady
+			}
+			return a.availability(id)
+		})
 		if err != nil {
 			return nil, err
 		}

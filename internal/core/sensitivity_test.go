@@ -1,7 +1,10 @@
 package core
 
 import (
+	"math"
 	"testing"
+
+	"wirelesshart/internal/link"
 )
 
 func TestSensitivityAnalysisRanksSharedLinkFirst(t *testing.T) {
@@ -107,6 +110,47 @@ func TestSensitivityAnalysisPerLinkModels(t *testing.T) {
 	}
 	if sens[0].WorstGain <= 0 {
 		t.Errorf("improving the unique bottleneck link should lift the minimum: %v", sens[0].WorstGain)
+	}
+}
+
+func TestSensitivityAnalysisOverrideMasksPerturbation(t *testing.T) {
+	// A failure injection (availability override) keeps masking the
+	// perturbation, matching the analyzer's normal resolution order: the
+	// injected link reports zero gain while healthy links still rank.
+	net, _, etaA := typicalSetup(t)
+	n3, _ := net.NodeByName("n3")
+	gw, _ := net.Gateway()
+	e3, _ := net.LinkBetween(n3.ID, gw)
+	a, err := New(net, etaA,
+		WithUniformLinkModel(mustAvail(t, 0.83)),
+		WithLinkAvailability(e3.ID, link.PermanentDown()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := a.SensitivityAnalysis(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawInjected, sawPositive bool
+	for _, s := range sens {
+		if s.Link.ID == e3.ID {
+			sawInjected = true
+			if math.Abs(s.MeanGain) > 1e-12 || math.Abs(s.WorstGain) > 1e-12 {
+				t.Errorf("injected link reports gain (%v, %v), override should mask the perturbation",
+					s.MeanGain, s.WorstGain)
+			}
+			continue
+		}
+		if s.MeanGain > 0 {
+			sawPositive = true
+		}
+	}
+	if !sawInjected {
+		t.Fatal("injected link missing from the ranking")
+	}
+	if !sawPositive {
+		t.Error("no healthy link shows a positive gain")
 	}
 }
 

@@ -102,6 +102,63 @@ func (c *Chain) compile() *Kernel {
 // NumStates returns the kernel's state count.
 func (k *Kernel) NumStates() int { return k.n }
 
+// RowSpan returns the half-open range [lo, hi) of compiled value positions
+// holding state id's outgoing edges, in the order the transitions were
+// added to the chain (an absorbing state compiles to a single self-loop).
+// Together with Rebind it lets callers that know their chain's layout bind
+// fresh probabilities onto the frozen sparsity pattern.
+func (k *Kernel) RowSpan(id int) (lo, hi int) { return k.mat.RowSpan(id) }
+
+// Row returns views of state id's compiled outgoing edges: the column
+// (target state) indices and the current values. Both slices must be
+// treated as read-only.
+func (k *Kernel) Row(id int) (cols []int, vals []float64) { return k.mat.Row(id) }
+
+// ValuesCopy returns a fresh copy of the kernel's compiled value array,
+// one entry per edge in RowSpan order — the canonical seed for a Rebind
+// value pass.
+func (k *Kernel) ValuesCopy() []float64 {
+	src := k.mat.Values()
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out
+}
+
+// Rebind returns a kernel that shares k's frozen CSR sparsity pattern (row
+// pointers and column indices) with values as its own value array — a
+// values-only recompile. values must hold one probability per compiled
+// edge (NNZ entries, positions per RowSpan) and is retained by the
+// returned kernel; every row is checked to be a probability distribution
+// within tol. The result is always homogeneous and safe for concurrent
+// stepping. Rebinding a kernel that has time-varying edges is an error:
+// its value array holds unevaluated placeholders, so positions would not
+// mean what the caller thinks.
+func (k *Kernel) Rebind(values []float64, tol float64) (*Kernel, error) {
+	if len(k.varying) > 0 {
+		return nil, fmt.Errorf("dtmc: cannot rebind a kernel with %d time-varying edges", len(k.varying))
+	}
+	mat, err := k.mat.WithValues(values)
+	if err != nil {
+		return nil, err
+	}
+	nk := &Kernel{n: k.n, names: k.names, mat: mat, lastT: -1}
+	for id := 0; id < nk.n; id++ {
+		var sum float64
+		lo, hi := mat.RowSpan(id)
+		for pos := lo; pos < hi; pos++ {
+			p := values[pos]
+			if math.IsNaN(p) || p < -tol || p > 1+tol {
+				return nil, fmt.Errorf("dtmc: rebind: state %q value %v out of [0,1]", k.names[id], p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > tol {
+			return nil, fmt.Errorf("dtmc: rebind: state %q outgoing probabilities sum to %v", k.names[id], sum)
+		}
+	}
+	return nk, nil
+}
+
 // NNZ returns the number of compiled edges (including absorbing
 // self-loops).
 func (k *Kernel) NNZ() int { return k.mat.NNZ() }

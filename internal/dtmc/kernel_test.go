@@ -215,6 +215,150 @@ func TestKernelValidatesVaryingEdgesPerStep(t *testing.T) {
 	}
 }
 
+// rerollValues draws a fresh set of row-stochastic values onto k's frozen
+// sparsity pattern: every row's edges get new random weights summing to
+// one (single-edge rows — absorbing self-loops included — stay at 1).
+func rerollValues(rng *rand.Rand, k *Kernel) []float64 {
+	vals := k.ValuesCopy()
+	for i := 0; i < k.NumStates(); i++ {
+		lo, hi := k.RowSpan(i)
+		if hi-lo <= 1 {
+			continue
+		}
+		var sum float64
+		for j := lo; j < hi; j++ {
+			vals[j] = 0.05 + rng.Float64()
+			sum += vals[j]
+		}
+		for j := lo; j < hi; j++ {
+			vals[j] /= sum
+		}
+	}
+	return vals
+}
+
+// TestKernelRebindMatchesFreshCompile is the randomized rebind equivalence
+// test: over seeded homogeneous chains, rebinding new values onto a
+// compiled kernel's frozen CSR pattern must match a chain rebuilt from
+// scratch with those probabilities to 1e-12 over the whole horizon, and
+// must leave the original kernel untouched.
+func TestKernelRebindMatchesFreshCompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	const horizon = 40
+	for trial := 0; trial < 40; trial++ {
+		c, _ := randomChain(t, rng, false)
+		k := c.Compile()
+		n := c.NumStates()
+		p0 := randomDistribution(rng, n)
+
+		before, err := k.Transient(p0, 0, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		newVals := rerollValues(rng, k)
+		rk, err := k.Rebind(newVals, 1e-9)
+		if err != nil {
+			t.Fatalf("trial %d: Rebind: %v", trial, err)
+		}
+		if rk.NumStates() != k.NumStates() || rk.NNZ() != k.NNZ() {
+			t.Fatalf("trial %d: rebind changed shape: %d states/%d edges, want %d/%d",
+				trial, rk.NumStates(), rk.NNZ(), k.NumStates(), k.NNZ())
+		}
+
+		// Full rebuild: a fresh chain with the same edges and the new
+		// probabilities, built through the normal Compile path.
+		fresh := New()
+		for i := 0; i < n; i++ {
+			fresh.MustAddState(fmt.Sprintf("s%d", i))
+		}
+		for i := 0; i < n; i++ {
+			cols, _ := k.Row(i)
+			lo, _ := k.RowSpan(i)
+			for j, to := range cols {
+				if err := fresh.AddTransition(i, to, newVals[lo+j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := fresh.Validate(1e-9); err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Compile().Transient(p0, 0, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rk.Transient(p0, 0, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := got.MaxAbsDiff(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-12 {
+			t.Fatalf("trial %d: rebind vs fresh compile diverge by %v", trial, d)
+		}
+
+		// The source kernel still computes with its original values.
+		after, err := k.Transient(p0, 0, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, err := after.MaxAbsDiff(before); err != nil || d != 0 {
+			t.Fatalf("trial %d: rebind mutated the source kernel (diff %v, err %v)", trial, d, err)
+		}
+	}
+}
+
+func TestKernelRebindRejectsBadValues(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	g := c.MustAddState("g")
+	if err := c.AddTransition(a, g, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTransition(a, a, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkAbsorbing(g); err != nil {
+		t.Fatal(err)
+	}
+	k := c.Compile()
+	good := k.ValuesCopy()
+	if _, err := k.Rebind(good[:len(good)-1], 1e-9); err == nil {
+		t.Error("wrong value count should error")
+	}
+	for name, mangle := range map[string]func([]float64){
+		"NaN":       func(v []float64) { v[0] = math.NaN() },
+		"negative":  func(v []float64) { v[0] = -0.1; v[1] = 1.1 },
+		"above one": func(v []float64) { v[0] = 1.5; v[1] = -0.5 },
+		"row sum":   func(v []float64) { v[0] = 0.7; v[1] = 0.7 },
+	} {
+		vals := append([]float64(nil), good...)
+		mangle(vals)
+		if _, err := k.Rebind(vals, 1e-9); err == nil {
+			t.Errorf("%s values should error", name)
+		}
+	}
+}
+
+func TestKernelRebindRejectsTimeVarying(t *testing.T) {
+	c := New()
+	a := c.MustAddState("a")
+	g := c.MustAddState("g")
+	if err := c.AddTransitionFn(a, g, func(t int) float64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkAbsorbing(g); err != nil {
+		t.Fatal(err)
+	}
+	k := c.Compile()
+	if _, err := k.Rebind(k.ValuesCopy(), 1e-9); err == nil {
+		t.Error("rebinding a time-varying kernel should error")
+	}
+}
+
 func TestKernelHomogeneousStepAllocatesNothing(t *testing.T) {
 	c := New()
 	up := c.MustAddState("UP")

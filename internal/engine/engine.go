@@ -30,6 +30,10 @@ type Config struct {
 	Workers int
 	// CacheSize bounds the scenario result cache (entries). Default 256.
 	CacheSize int
+	// StructCacheSize bounds the structure cache (entries). Structures
+	// are keyed by schedule geometry alone, so far fewer distinct entries
+	// exist than scenarios; the default is CacheSize.
+	StructCacheSize int
 }
 
 // Engine evaluates WirelessHART scenarios concurrently with caching and
@@ -49,6 +53,9 @@ type Engine struct {
 	kernelMu    sync.Mutex
 	kernelCache *lruCache // core.PathKey -> *pathmodel.Model with compiled kernel
 
+	structMu    sync.Mutex
+	structCache *lruCache // pathmodel.StructKey -> *pathmodel.Structure
+
 	metrics *Metrics
 }
 
@@ -67,6 +74,9 @@ func New(cfg Config) *Engine {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 256
 	}
+	if cfg.StructCacheSize <= 0 {
+		cfg.StructCacheSize = cfg.CacheSize
+	}
 	return &Engine{
 		workers:     cfg.Workers,
 		sem:         make(chan struct{}, cfg.Workers),
@@ -74,15 +84,25 @@ func New(cfg Config) *Engine {
 		inflight:    map[string]*call{},
 		peerCache:   newLRU(cfg.CacheSize),
 		kernelCache: newLRU(cfg.CacheSize),
+		structCache: newLRU(cfg.StructCacheSize),
 		metrics:     newMetrics(),
 	}
 }
 
-// kernels is the engine's view of its compiled-kernel cache as a
-// core.PathModelCache: scenario solves and peer-path predictions that
-// realize identical path DTMCs (same slots, frame, interval, TTL and link
-// parameters) share one built model and its compiled kernel, skipping both
-// Algorithm 1 construction and kernel compilation. Hits and misses are
+// kernels is the engine's view of its two-tier model cache as a
+// core.PathModelCache plus core.StructureCache.
+//
+// The value tier (GetModel/PutModel, keyed by core.PathKey) shares fully
+// bound models: scenario solves and peer-path predictions that realize
+// identical path DTMCs (same slots, frame, interval, TTL and link
+// parameters) reuse one model and its compiled kernel, skipping the whole
+// build.
+//
+// The structure tier (GetStructure/PutStructure, keyed by
+// pathmodel.StructKey) shares the link-model-free state space: scenarios
+// that differ only in link quality or failure injections — which can never
+// hit the value tier — still reuse the Algorithm 1 state space and frozen
+// CSR pattern and pay one value bind. Hits and misses of both tiers are
 // exported through /metrics.
 type kernels struct{ e *Engine }
 
@@ -102,6 +122,24 @@ func (k kernels) PutModel(key string, m *pathmodel.Model) {
 	k.e.kernelMu.Lock()
 	k.e.kernelCache.add(key, m)
 	k.e.kernelMu.Unlock()
+}
+
+func (k kernels) GetStructure(key string) (*pathmodel.Structure, bool) {
+	k.e.structMu.Lock()
+	v, ok := k.e.structCache.get(key)
+	k.e.structMu.Unlock()
+	if !ok {
+		k.e.metrics.structMisses.Add(1)
+		return nil, false
+	}
+	k.e.metrics.structHits.Add(1)
+	return v.(*pathmodel.Structure), true
+}
+
+func (k kernels) PutStructure(key string, s *pathmodel.Structure) {
+	k.e.structMu.Lock()
+	k.e.structCache.add(key, s)
+	k.e.structMu.Unlock()
 }
 
 // DelayPoint is one support point of a delay distribution.
@@ -167,6 +205,9 @@ func (e *Engine) MetricsSnapshot() Snapshot {
 	e.kernelMu.Lock()
 	s.KernelCacheLen = e.kernelCache.len()
 	e.kernelMu.Unlock()
+	e.structMu.Lock()
+	s.StructCacheLen = e.structCache.len()
+	e.structMu.Unlock()
 	s.Workers = e.workers
 	return s
 }
@@ -227,7 +268,7 @@ func (e *Engine) solve(ctx context.Context, s *spec.Spec, key string) (*Result, 
 	defer e.metrics.inFlight.Add(-1)
 
 	start := time.Now()
-	built, err := s.BuildWith(core.WithPathModelCache(kernels{e}))
+	built, err := s.BuildWith(core.WithPathModelCache(kernels{e}), core.WithStructureCache(kernels{e}))
 	if err != nil {
 		e.metrics.errors.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrBadScenario, err)
@@ -396,16 +437,24 @@ func (e *Engine) peerSolve(ebN0s []float64, fup, is, bits int) (*pathmodel.Resul
 	pathKey := core.PathKey(slots, fup, is, 0, models)
 	m, ok := kc.GetModel(pathKey)
 	if !ok {
+		st, ok := kc.GetStructure(pathmodel.StructKey(slots, fup, is, 0))
+		if !ok {
+			var err error
+			st, err = pathmodel.BuildStructure(slots, fup, is, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%w: peer path: %v", ErrBadScenario, err)
+			}
+			kc.PutStructure(st.Key(), st)
+		}
 		avails := make([]link.Availability, len(models))
 		for i, lm := range models {
 			avails[i] = lm.Steady()
 		}
 		var err error
-		m, err = pathmodel.Build(pathmodel.Config{Slots: slots, Fup: fup, Is: is, Links: avails})
+		m, err = st.Bind(avails)
 		if err != nil {
 			return nil, fmt.Errorf("%w: peer path: %v", ErrBadScenario, err)
 		}
-		m.Compile()
 		kc.PutModel(pathKey, m)
 	}
 	res, err := m.Solve()

@@ -286,6 +286,86 @@ func TestMetricsLatency(t *testing.T) {
 	}
 }
 
+// failureSpec returns the typical network with a DOWN window injected on
+// the n3-G link during uplink slots [from, to).
+func failureSpec(t *testing.T, from, to int) *spec.Spec {
+	t.Helper()
+	s := spec.TypicalSpec()
+	for i := range s.Links {
+		if s.Links[i].A == "n3" && s.Links[i].B == "G" {
+			s.Links[i].Failure = &spec.Failure{Kind: "window", FromSlot: from, ToSlot: to}
+			return s
+		}
+	}
+	t.Fatal("typical spec has no n3-G link")
+	return nil
+}
+
+// TestStructCacheSharesAcrossFailureScenarios checks the structure tier: a
+// failure-injection scenario must match the direct core path exactly, and
+// a second scenario with a different failure window — a guaranteed miss in
+// both the result cache and the value-level kernel cache — must rebind
+// onto the cached path structures instead of re-running Algorithm 1.
+func TestStructCacheSharesAcrossFailureScenarios(t *testing.T) {
+	eng := New(Config{})
+	ctx := context.Background()
+
+	res1, err := eng.Evaluate(ctx, failureSpec(t, 0, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine result must reproduce the direct core analysis.
+	built, err := failureSpec(t, 0, 20).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := built.Analyzer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySource := map[string]float64{}
+	for _, p := range res1.Paths {
+		bySource[p.Source] = p.Reachability
+	}
+	for _, pa := range na.Paths {
+		node, err := built.Net.Node(pa.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := bySource[node.Name]
+		if !ok {
+			t.Fatalf("engine result missing path for %s", node.Name)
+		}
+		if !almostEqual(got, pa.Reachability, 1e-12) {
+			t.Errorf("%s: engine R = %v, core R = %v", node.Name, got, pa.Reachability)
+		}
+	}
+
+	snap := eng.MetricsSnapshot()
+	if snap.StructCacheMisses == 0 {
+		t.Fatal("cold failure solve should build structures")
+	}
+	if snap.StructCacheLen == 0 {
+		t.Error("structure cache empty after cold solve")
+	}
+	misses, hits := snap.StructCacheMisses, snap.StructCacheHits
+
+	// A shifted window: new scenario key, new bound values, same geometry.
+	if _, err := eng.Evaluate(ctx, failureSpec(t, 5, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if solves := eng.Metrics().Solves(); solves != 2 {
+		t.Fatalf("%d solves, want 2 (distinct failure windows must not share results)", solves)
+	}
+	snap = eng.MetricsSnapshot()
+	if snap.StructCacheMisses != misses {
+		t.Errorf("second failure scenario built %d new structures, want 0", snap.StructCacheMisses-misses)
+	}
+	if snap.StructCacheHits <= hits {
+		t.Error("second failure scenario recorded no structure-cache hit")
+	}
+}
+
 // TestKernelCacheSharesPathModels checks the compiled-kernel cache: a cold
 // solve misses once per path, and a second scenario with a different
 // downlink frame (distinct scenario key, identical uplink path chains)

@@ -119,6 +119,72 @@ func TestNetworkEndpointAndMetrics(t *testing.T) {
 	}
 }
 
+// TestEvaluateEndpointFailureInjection posts failure-injection scenarios:
+// the response must match the direct core analysis, and a second scenario
+// with a shifted failure window must surface a structure-cache hit in
+// /metrics.
+func TestEvaluateEndpointFailureInjection(t *testing.T) {
+	srv, _ := newTestAPI(t)
+	resp := postJSON(t, srv.URL+"/v1/evaluate", map[string]any{
+		"scenario": failureSpec(t, 0, 20),
+		"source":   "n10",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var body evaluateResponse
+	decodeBody(t, resp, &body)
+
+	built, err := failureSpec(t, 0, 20).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := built.Analyzer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	found := false
+	for _, pa := range na.Paths {
+		node, err := built.Net.Node(pa.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node.Name == "n10" {
+			want, found = pa.Reachability, true
+		}
+	}
+	if !found {
+		t.Fatal("core analysis has no n10 path")
+	}
+	if !almostEqual(body.Path.Reachability, want, 1e-12) {
+		t.Errorf("served R = %v, core R = %v", body.Path.Reachability, want)
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/evaluate", map[string]any{
+		"scenario": failureSpec(t, 5, 25),
+		"source":   "n10",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second window: status %d, want 200", resp.StatusCode)
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics struct {
+		Engine Snapshot `json:"engine"`
+	}
+	decodeBody(t, mresp, &metrics)
+	if metrics.Engine.StructCacheHits == 0 {
+		t.Error("shifted failure window recorded no structure-cache hit in /metrics")
+	}
+	if metrics.Engine.StructCacheLen == 0 {
+		t.Error("structure cache length missing from /metrics")
+	}
+}
+
 // TestPredictEndpointRanking pins /v1/predict to the routingadvisor
 // example: same candidates, same ranking, same recommendation.
 func TestPredictEndpointRanking(t *testing.T) {

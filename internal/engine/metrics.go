@@ -20,6 +20,8 @@ type Metrics struct {
 	inFlight     atomic.Int64
 	kernelHits   atomic.Int64
 	kernelMisses atomic.Int64
+	structHits   atomic.Int64
+	structMisses atomic.Int64
 
 	latCount   atomic.Int64
 	latSumUS   atomic.Int64 // microseconds, for the mean
@@ -53,6 +55,15 @@ func (m *Metrics) KernelCacheHits() int64 { return m.kernelHits.Load() }
 // KernelCacheMisses returns the number of path-model builds that had to
 // construct and compile a fresh kernel.
 func (m *Metrics) KernelCacheMisses() int64 { return m.kernelMisses.Load() }
+
+// StructCacheHits returns the number of path-structure lookups served from
+// the structure cache (the state space and frozen CSR pattern were reused;
+// only a value bind was paid).
+func (m *Metrics) StructCacheHits() int64 { return m.structHits.Load() }
+
+// StructCacheMisses returns the number of path-structure lookups that had
+// to run Algorithm 1 and compile a fresh CSR pattern.
+func (m *Metrics) StructCacheMisses() int64 { return m.structMisses.Load() }
 
 func (m *Metrics) observeLatency(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
@@ -109,6 +120,9 @@ type Snapshot struct {
 	KernelCacheHits   int64           `json:"kernelCacheHits"`
 	KernelCacheMisses int64           `json:"kernelCacheMisses"`
 	KernelCacheLen    int             `json:"kernelCacheLen"`
+	StructCacheHits   int64           `json:"structCacheHits"`
+	StructCacheMisses int64           `json:"structCacheMisses"`
+	StructCacheLen    int             `json:"structCacheLen"`
 	CacheLen          int             `json:"cacheLen"`
 	CacheCap          int             `json:"cacheCap"`
 	Workers           int             `json:"workers"`
@@ -125,6 +139,8 @@ func (m *Metrics) snapshot() Snapshot {
 		InFlight:          m.inFlight.Load(),
 		KernelCacheHits:   m.kernelHits.Load(),
 		KernelCacheMisses: m.kernelMisses.Load(),
+		StructCacheHits:   m.structHits.Load(),
+		StructCacheMisses: m.structMisses.Load(),
 	}
 	s.SolveTime.Count = m.latCount.Load()
 	if s.SolveTime.Count > 0 {

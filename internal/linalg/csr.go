@@ -66,6 +66,21 @@ func (m *CSR) Row(i int) (cols []int, vals []float64) {
 // refreshes time-varying entries through it between multiplies.
 func (m *CSR) Values() []float64 { return m.val }
 
+// RowSpan returns the half-open range [lo, hi) of positions in the value
+// and column arrays that hold row i's entries.
+func (m *CSR) RowSpan(i int) (lo, hi int) { return m.rowPtr[i], m.rowPtr[i+1] }
+
+// WithValues returns a matrix sharing m's frozen sparsity pattern (row
+// pointers and column indices) with val as its value array — a values-only
+// rebind that skips all structural validation. val must hold exactly NNZ
+// entries and is retained, not copied.
+func (m *CSR) WithValues(val []float64) (*CSR, error) {
+	if len(val) != len(m.val) {
+		return nil, fmt.Errorf("%w: CSR rebind with %d values, want %d", ErrDimension, len(val), len(m.val))
+	}
+	return &CSR{rows: m.rows, cols: m.cols, rowPtr: m.rowPtr, col: m.col, val: val}, nil
+}
+
 // MulVecInto computes dst = x*M for a row vector x, overwriting dst. This
 // is the sparse form of the transient step p(t+1) = p(t) P(t): mass in
 // state i scatters along row i's edges. dst and x must not alias.

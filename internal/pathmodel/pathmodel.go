@@ -4,6 +4,14 @@
 // absorbing DTMC over message-age states whose transition probabilities are
 // inherited from per-hop link availability functions.
 //
+// The construction is split into two phases. The state space — states,
+// goal/discard ids, transmit mask and CSR sparsity pattern — depends only
+// on the schedule geometry (Slots, Fup, Is, TTL) and is built once per
+// geometry by BuildStructure. Link models, channel quality and failure
+// injections only change transition values, which Structure.Bind fills
+// onto the shared pattern in a single value pass. Build composes the two
+// for callers that need no structural reuse.
+//
 // # Time convention
 //
 // Ages count uplink slots from the start of the reporting interval. The
@@ -19,8 +27,8 @@ package pathmodel
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
 
 	"wirelesshart/internal/dtmc"
 	"wirelesshart/internal/link"
@@ -47,7 +55,9 @@ type Config struct {
 	Links []link.Availability
 }
 
-func (c Config) validate() error {
+// validateGeometry checks the structural (link-model-free) part of the
+// configuration: slots, frame size, reporting interval and TTL.
+func (c Config) validateGeometry() error {
 	if len(c.Slots) == 0 {
 		return errors.New("pathmodel: path needs at least one hop")
 	}
@@ -56,9 +66,6 @@ func (c Config) validate() error {
 	}
 	if c.Is < 1 {
 		return fmt.Errorf("pathmodel: reporting interval %d must be positive", c.Is)
-	}
-	if len(c.Links) != len(c.Slots) {
-		return fmt.Errorf("pathmodel: %d hops but %d link models", len(c.Slots), len(c.Links))
 	}
 	prev := 0
 	for h, s := range c.Slots {
@@ -70,13 +77,23 @@ func (c Config) validate() error {
 		}
 		prev = s
 	}
+	if c.TTL < 0 || c.TTL > c.Is*c.Fup {
+		return fmt.Errorf("pathmodel: TTL %d out of [0,%d]", c.TTL, c.Is*c.Fup)
+	}
+	return nil
+}
+
+func (c Config) validate() error {
+	if err := c.validateGeometry(); err != nil {
+		return err
+	}
+	if len(c.Links) != len(c.Slots) {
+		return fmt.Errorf("pathmodel: %d hops but %d link models", len(c.Slots), len(c.Links))
+	}
 	for h, av := range c.Links {
 		if av == nil {
 			return fmt.Errorf("pathmodel: hop %d has nil availability", h+1)
 		}
-	}
-	if c.TTL < 0 || c.TTL > c.Is*c.Fup {
-		return fmt.Errorf("pathmodel: TTL %d out of [0,%d]", c.TTL, c.Is*c.Fup)
 	}
 	return nil
 }
@@ -89,22 +106,18 @@ func (c Config) ttl() int {
 	return c.TTL
 }
 
-// Model is a constructed path DTMC.
+// Model is a constructed path DTMC: a shared Structure with one scenario's
+// transition values bound onto it.
 type Model struct {
-	cfg     Config
-	chain   *dtmc.Chain
-	initial int
-	goals   []int // state id of goal R_{a_i}, index i-1
-	ages    []int // a_i for each goal
-	discard int
-	// transmit[id] describes the transmission out of transient state id,
-	// if any (used for exact utilization accounting).
-	transmit map[int]hopAttempt
-	// transmitIDs is the sorted id list of transmitting states — the
-	// precomputed mask the solver sums over per step.
-	transmitIDs []int
-	// timeOf[id] is the age t of transient state id.
-	timeOf map[int]int
+	cfg    Config
+	s      *Structure
+	kernel *dtmc.Kernel
+
+	// chain materializes the bound chain lazily (DOT export and other
+	// cold-path introspection); the solve path never touches it.
+	chainOnce sync.Once
+	chain     *dtmc.Chain
+	chainErr  error
 }
 
 type hopAttempt struct {
@@ -112,133 +125,19 @@ type hopAttempt struct {
 	slot int // absolute uplink slot of the attempt
 }
 
-// Build constructs the path model per Algorithm 1 (depth-first from the
-// initial state, memoizing states by (age, hops-completed)).
+// Build constructs the path model per Algorithm 1: a structural build of
+// the state space followed by a value bind of the link models. Callers
+// evaluating many scenarios over one schedule geometry should cache the
+// Structure (see BuildStructure) and Bind per scenario instead.
 func Build(cfg Config) (*Model, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := len(cfg.Slots)
-	horizon := cfg.Is * cfg.Fup
-	ttl := cfg.ttl()
-
-	m := &Model{
-		cfg:      cfg,
-		chain:    dtmc.New(),
-		transmit: map[int]hopAttempt{},
-		timeOf:   map[int]int{},
-	}
-
-	// Absorbing goal states R_{a_i}, one per cycle whose arrival age is
-	// within the TTL.
-	a0 := cfg.Slots[n-1]
-	for i := 1; i <= cfg.Is; i++ {
-		age := a0 + (i-1)*cfg.Fup
-		if age > ttl {
-			break
-		}
-		id, err := m.chain.AddState(fmt.Sprintf("R%d", age))
-		if err != nil {
-			return nil, err
-		}
-		if err := m.chain.MarkAbsorbing(id); err != nil {
-			return nil, err
-		}
-		m.goals = append(m.goals, id)
-		m.ages = append(m.ages, age)
-	}
-	discard, err := m.chain.AddState("Discard")
+	s, err := BuildStructure(cfg.Slots, cfg.Fup, cfg.Is, cfg.TTL)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.chain.MarkAbsorbing(discard); err != nil {
-		return nil, err
-	}
-	m.discard = discard
-
-	// Transient states keyed by (age, hops completed).
-	type key struct{ t, h int }
-	ids := map[key]int{}
-	var construct func(t, h int) (int, error)
-	construct = func(t, h int) (int, error) {
-		// TTL expiry / horizon: the message is dropped the moment its age
-		// reaches the TTL without having arrived, so this "state" is the
-		// discard state itself.
-		if t >= ttl || t >= horizon {
-			return discard, nil
-		}
-		k := key{t: t, h: h}
-		if id, ok := ids[k]; ok {
-			return id, nil
-		}
-		id, err := m.chain.AddState(stateName(t, h, n))
-		if err != nil {
-			return 0, err
-		}
-		ids[k] = id
-		m.timeOf[id] = t
-
-		next := t + 1
-		frameSlot := (next-1)%cfg.Fup + 1
-		if frameSlot == cfg.Slots[h] {
-			// This path's hop h+1 transmits during slot `next`.
-			ps := m.cfg.Links[h](next)
-			if ps < 0 || ps > 1 {
-				return 0, fmt.Errorf("pathmodel: hop %d availability %v at slot %d out of [0,1]", h+1, ps, next)
-			}
-			m.transmit[id] = hopAttempt{hop: h, slot: next}
-			if h == n-1 {
-				// Final hop: success reaches the goal of the current
-				// cycle.
-				gi := (next - cfg.Slots[n-1]) / cfg.Fup
-				if gi < 0 || gi >= len(m.goals) {
-					return 0, fmt.Errorf("pathmodel: internal: no goal for arrival age %d", next)
-				}
-				if err := m.chain.AddTransition(id, m.goals[gi], ps); err != nil {
-					return 0, err
-				}
-			} else {
-				succ, err := construct(next, h+1)
-				if err != nil {
-					return 0, err
-				}
-				if err := m.chain.AddTransition(id, succ, ps); err != nil {
-					return 0, err
-				}
-			}
-			fail, err := construct(next, h)
-			if err != nil {
-				return 0, err
-			}
-			if err := m.chain.AddTransition(id, fail, 1-ps); err != nil {
-				return 0, err
-			}
-			return id, nil
-		}
-		// No transmission for this message in slot `next`: age advances.
-		nx, err := construct(next, h)
-		if err != nil {
-			return 0, err
-		}
-		if err := m.chain.AddTransition(id, nx, 1); err != nil {
-			return 0, err
-		}
-		return id, nil
-	}
-
-	initial, err := construct(0, 0)
-	if err != nil {
-		return nil, err
-	}
-	m.initial = initial
-	if err := m.chain.Validate(1e-9); err != nil {
-		return nil, fmt.Errorf("pathmodel: constructed chain invalid: %w", err)
-	}
-	for id := range m.transmit {
-		m.transmitIDs = append(m.transmitIDs, id)
-	}
-	sort.Ints(m.transmitIDs)
-	return m, nil
+	return s.Bind(cfg.Links)
 }
 
 // stateName renders a state in the paper's age-tuple notation: nodes that
@@ -255,38 +154,95 @@ func stateName(t, h, n int) string {
 	return "(" + strings.Join(parts, ",") + ")"
 }
 
-// Chain returns the underlying DTMC.
-func (m *Model) Chain() *dtmc.Chain { return m.chain }
+// Structure returns the model's underlying shared structure.
+func (m *Model) Structure() *Structure { return m.s }
 
-// Compile returns the model's compiled solver kernel. Path-model chains
-// bake their probabilities at construction time, so the kernel is always
-// homogeneous and safe to share across concurrent solves; the evaluation
-// engine caches models with their kernels on the strength of this.
-func (m *Model) Compile() *dtmc.Kernel { return m.chain.Compile() }
+// Chain returns the model's DTMC with its bound transition probabilities.
+// The chain is materialized from the compiled kernel on first use — the
+// solve path runs on the kernel alone — so this accessor is for
+// introspection and DOT export, not for hot loops.
+func (m *Model) Chain() *dtmc.Chain {
+	m.chainOnce.Do(func() {
+		m.chain, m.chainErr = m.materializeChain()
+	})
+	if m.chainErr != nil {
+		// The structure's chain validated at build time and the kernel's
+		// values validated at bind time, so re-assembling them cannot
+		// produce an invalid chain.
+		panic(fmt.Sprintf("pathmodel: materializing bound chain: %v", m.chainErr))
+	}
+	return m.chain
+}
+
+// materializeChain rebuilds a chain with the kernel's bound values on the
+// structure's state space.
+func (m *Model) materializeChain() (*dtmc.Chain, error) {
+	src := m.s.chain
+	out := dtmc.New()
+	for id := 0; id < src.NumStates(); id++ {
+		if _, err := out.AddState(src.Name(id)); err != nil {
+			return nil, err
+		}
+	}
+	for id := 0; id < src.NumStates(); id++ {
+		if src.IsAbsorbing(id) {
+			if err := out.MarkAbsorbing(id); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		cols, vals := m.kernel.Row(id)
+		for k, to := range cols {
+			if err := out.AddTransition(id, to, vals[k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := out.Validate(bindTol); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compile returns the model's compiled solver kernel: the structure's
+// frozen CSR pattern carrying this model's bound values. Bound kernels are
+// always homogeneous and safe to share across concurrent solves; the
+// evaluation engine caches models with their kernels on the strength of
+// this.
+func (m *Model) Compile() *dtmc.Kernel { return m.kernel }
 
 // InitialState returns the id of the initial state (message born at the
 // source, age 0).
-func (m *Model) InitialState() int { return m.initial }
+func (m *Model) InitialState() int { return m.s.initial }
 
 // GoalStates returns the goal state ids in cycle order.
 func (m *Model) GoalStates() []int {
-	out := make([]int, len(m.goals))
-	copy(out, m.goals)
+	out := make([]int, len(m.s.goals))
+	copy(out, m.s.goals)
 	return out
 }
 
 // GoalAges returns the arrival ages a_i of the goal states in cycle order.
 func (m *Model) GoalAges() []int {
-	out := make([]int, len(m.ages))
-	copy(out, m.ages)
+	out := make([]int, len(m.s.ages))
+	copy(out, m.s.ages)
 	return out
 }
 
 // DiscardState returns the id of the discard state.
-func (m *Model) DiscardState() int { return m.discard }
+func (m *Model) DiscardState() int { return m.s.discard }
+
+// TransmitStates returns the sorted ids of the transient states that
+// attempt a transmission — the mask the solver sums over for exact
+// utilization accounting.
+func (m *Model) TransmitStates() []int {
+	out := make([]int, len(m.s.transmitIDs))
+	copy(out, m.s.transmitIDs)
+	return out
+}
 
 // NumStates returns the model's state count (the paper's O(Is*Fs*n)).
-func (m *Model) NumStates() int { return m.chain.NumStates() }
+func (m *Model) NumStates() int { return m.s.NumStates() }
 
 // Hops returns the number of hops on the path.
 func (m *Model) Hops() int { return len(m.cfg.Slots) }

@@ -482,7 +482,7 @@ func TestExpectedAttemptsMatchesFundamentalMatrix(t *testing.T) {
 		t.Fatal(err)
 	}
 	var attempts float64
-	for id := range m.transmit {
+	for _, id := range m.TransmitStates() {
 		attempts += abs.ExpectedVisits[id]
 	}
 	if math.Abs(attempts-res.ExpectedAttempts) > 1e-9 {

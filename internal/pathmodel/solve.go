@@ -48,6 +48,13 @@ func (r *Result) Clone() *Result {
 	return &out
 }
 
+// initialDistribution returns the point mass on the initial state.
+func (m *Model) initialDistribution() linalg.Vector {
+	p0 := linalg.NewVector(m.s.NumStates())
+	p0[m.s.initial] = 1
+	return p0
+}
+
 // Solve runs the transient analysis p(t) = p(t-1) P(t) to the end of the
 // reporting interval and extracts the cycle probabilities, discard
 // probability and exact expected attempt count. The step loop runs on the
@@ -55,17 +62,14 @@ func (r *Result) Clone() *Result {
 // nothing per step.
 func (m *Model) Solve() (*Result, error) {
 	horizon := m.cfg.Is * m.cfg.Fup
-	p0, err := m.chain.InitialDistribution(m.initial)
-	if err != nil {
-		return nil, err
-	}
+	p0 := m.initialDistribution()
 	var attempts float64
-	p, err := m.Compile().TransientObserved(p0, 0, horizon, func(t int, dist linalg.Vector) error {
+	p, err := m.kernel.TransientObserved(p0, 0, horizon, func(t int, dist linalg.Vector) error {
 		// Mass sitting in a transmitting state at time t attempts a
 		// transmission during slot t+1; the final distribution makes no
 		// further attempt.
 		if t < horizon {
-			for _, id := range m.transmitIDs {
+			for _, id := range m.s.transmitIDs {
 				attempts += dist[id]
 			}
 		}
@@ -75,16 +79,16 @@ func (m *Model) Solve() (*Result, error) {
 		return nil, err
 	}
 	res := &Result{
-		CycleProbs: make([]float64, len(m.goals)),
+		CycleProbs: make([]float64, len(m.s.goals)),
 		GoalAges:   m.GoalAges(),
 		Fup:        m.cfg.Fup,
 		Is:         m.cfg.Is,
 		Hops:       len(m.cfg.Slots),
 	}
-	for i, id := range m.goals {
+	for i, id := range m.s.goals {
 		res.CycleProbs[i] = p[id]
 	}
-	res.DiscardProb = p[m.discard]
+	res.DiscardProb = p[m.s.discard]
 	res.ExpectedAttempts = attempts
 
 	// Sanity: all mass must be absorbed at the horizon.
@@ -104,16 +108,13 @@ func (m *Model) Solve() (*Result, error) {
 // slice is indexed [goal][age].
 func (m *Model) GoalTrajectories() ([][]float64, error) {
 	horizon := m.cfg.Is * m.cfg.Fup
-	p0, err := m.chain.InitialDistribution(m.initial)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]float64, len(m.goals))
+	p0 := m.initialDistribution()
+	out := make([][]float64, len(m.s.goals))
 	for i := range out {
 		out[i] = make([]float64, horizon+1)
 	}
-	_, err = m.Compile().TransientObserved(p0, 0, horizon, func(t int, dist linalg.Vector) error {
-		for i, id := range m.goals {
+	_, err := m.kernel.TransientObserved(p0, 0, horizon, func(t int, dist linalg.Vector) error {
+		for i, id := range m.s.goals {
 			out[i][t] = dist[id]
 		}
 		return nil

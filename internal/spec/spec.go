@@ -149,7 +149,10 @@ func (s *Spec) Build() (*Built, error) {
 }
 
 // BuildWith is Build with extra analyzer options appended — the hook the
-// evaluation engine uses to inject its shared path-model cache.
+// evaluation engine uses to inject its shared caches: the value-level
+// path-model cache (core.WithPathModelCache) and the structure cache
+// (core.WithStructureCache) that lets failure-injection scenarios reuse
+// cached state spaces through a value rebind.
 func (s *Spec) BuildWith(extra ...core.Option) (*Built, error) {
 	if len(s.Nodes) == 0 {
 		return nil, errors.New("spec: no nodes")

@@ -21,10 +21,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"wirelesshart/internal/channel"
 	"wirelesshart/internal/core"
 	"wirelesshart/internal/link"
+	"wirelesshart/internal/pathmodel"
 	"wirelesshart/internal/schedule"
 	"wirelesshart/internal/spec"
 	"wirelesshart/internal/topology"
@@ -41,6 +43,7 @@ type Network struct {
 	models   map[topology.LinkID]link.Model
 	explicit map[topology.LinkID]bool
 	bits     int
+	structs  *structCache
 }
 
 // New returns an empty network using the default message length.
@@ -50,7 +53,33 @@ func New() *Network {
 		models:   map[topology.LinkID]link.Model{},
 		explicit: map[topology.LinkID]bool{},
 		bits:     DefaultMessageBits,
+		structs:  &structCache{m: map[string]*pathmodel.Structure{}},
 	}
+}
+
+// structCache is the Network's persistent path-structure cache. Every
+// analyzer built from this Network shares it, so repeated analyses —
+// Analyze with different link options, SuggestImprovements, failure-window
+// sweeps — rebind link availabilities onto cached state spaces instead of
+// re-running the chain construction per call. Structures depend only on
+// schedule geometry, never on link quality, so entries stay valid across
+// any change of link models or injections.
+type structCache struct {
+	mu sync.Mutex
+	m  map[string]*pathmodel.Structure
+}
+
+func (c *structCache) GetStructure(key string) (*pathmodel.Structure, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.m[key]
+	return s, ok
+}
+
+func (c *structCache) PutStructure(key string, s *pathmodel.Structure) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = s
 }
 
 // Typical returns the paper's typical plant network (Fig. 12): ten field
@@ -571,7 +600,7 @@ func (n *Network) buildExplicit(o *options, routes map[topology.NodeID]topology.
 // finishBuild attaches link models and failure injections and constructs
 // the analyzer. sources restricts reporting devices (nil = all routed).
 func (n *Network) finishBuild(o *options, sched schedule.Plan, sources []topology.NodeID) (*core.Analyzer, schedule.Plan, error) {
-	opts := []core.Option{core.WithReportingInterval(o.is)}
+	opts := []core.Option{core.WithReportingInterval(o.is), core.WithStructureCache(n.structs)}
 	if sources != nil {
 		opts = append(opts, core.WithSources(sources...))
 	}
