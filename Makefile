@@ -1,7 +1,7 @@
 GO ?= go
 
 # Minimum statement coverage for the solver-critical packages.
-COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core
+COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core ./internal/obs
 COVER_MIN  = 85
 
 .PHONY: all build test race vet bench cover clean
@@ -12,10 +12,12 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
+# -short skips the slow large-network integration tests; the race detector
+# already multiplies their runtime several-fold.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...
@@ -23,10 +25,13 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# The profile lives in a temp file so `make cover` never dirties the tree.
 cover:
-	@$(GO) test -coverprofile=coverage.out $(COVER_PKGS)
-	@$(GO) tool cover -func=coverage.out | tail -1
-	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	@profile=$$(mktemp); \
+	trap 'rm -f "$$profile"' EXIT; \
+	$(GO) test -coverprofile="$$profile" $(COVER_PKGS) || exit 1; \
+	$(GO) tool cover -func="$$profile" | tail -1; \
+	total=$$($(GO) tool cover -func="$$profile" | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	ok=$$(awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN {print (t+0 >= m+0) ? 1 : 0}'); \
 	if [ "$$ok" != "1" ]; then \
 		echo "coverage $$total% below minimum $(COVER_MIN)%"; exit 1; \

@@ -5,10 +5,18 @@
 //
 // Usage:
 //
-//	whart-server [-addr :8080] [-workers N] [-cache N] [-structcache N] [-timeout 30s]
+//	whart-server [-addr :8080] [-workers N] [-cache N] [-structcache N]
+//	             [-timeout 30s] [-tracebuf N] [-debug] [-logjson]
+//
+// Observability: every solve is traced stage by stage into a bounded ring
+// served at /debug/traces, and engine counters are exported both as JSON
+// (/metrics) and in Prometheus text format (/metrics/prom). -logjson
+// switches the process to structured JSON logs (log/slog) and mirrors
+// each finished solve trace as one log record. -debug additionally mounts
+// net/http/pprof under /debug/pprof/.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// requests and flushing the trace stream before exit.
 package main
 
 import (
@@ -17,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,12 +56,31 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "whart-server: ", log.LstdFlags)
-	eng := engine.New(engine.Config{Workers: cfg.workers, CacheSize: cfg.cache, StructCacheSize: cfg.structCache})
-	logger.Printf("listening on %s (workers=%d cache=%d timeout=%s)",
-		ln.Addr(), eng.MetricsSnapshot().Workers, eng.MetricsSnapshot().CacheCap, cfg.timeout)
-	if err := serve(ctx, ln, engine.NewHandler(eng, cfg.timeout), logger); err != nil {
+	var slogger *slog.Logger
+	if cfg.logJSON {
+		slogger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		logger = slog.NewLogLogger(slogger.Handler(), slog.LevelInfo)
+	}
+	eng := engine.New(engine.Config{
+		Workers:         cfg.workers,
+		CacheSize:       cfg.cache,
+		StructCacheSize: cfg.structCache,
+		TraceCapacity:   cfg.traceBuf,
+		TraceLogger:     slogger,
+	})
+	handler := engine.NewHandler(eng, cfg.timeout)
+	if cfg.debug {
+		handler = withPprof(handler)
+	}
+	logger.Printf("listening on %s (workers=%d cache=%d timeout=%s debug=%t)",
+		ln.Addr(), eng.MetricsSnapshot().Workers, eng.MetricsSnapshot().CacheCap, cfg.timeout, cfg.debug)
+	if err := serve(ctx, ln, handler, logger); err != nil {
 		log.Fatalf("whart-server: %v", err)
 	}
+	// Drained: flush the trace stream and leave a final accounting line.
+	eng.Traces().Flush()
+	snap := eng.MetricsSnapshot()
+	logger.Printf("served %d solves (%d cache hits, %d errors)", snap.Solves, snap.CacheHits, snap.Errors)
 }
 
 type config struct {
@@ -59,7 +88,10 @@ type config struct {
 	workers     int
 	cache       int
 	structCache int
+	traceBuf    int
 	timeout     time.Duration
+	debug       bool
+	logJSON     bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -69,17 +101,34 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "max concurrent DTMC solves (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.cache, "cache", 0, "scenario cache capacity (0 = default 256)")
 	fs.IntVar(&cfg.structCache, "structcache", 0, "path-structure cache capacity (0 = same as -cache)")
+	fs.IntVar(&cfg.traceBuf, "tracebuf", 0, "solve traces retained for /debug/traces (0 = default 64)")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request evaluation timeout (0 = none)")
+	fs.BoolVar(&cfg.debug, "debug", false, "expose net/http/pprof under /debug/pprof/")
+	fs.BoolVar(&cfg.logJSON, "logjson", false, "structured JSON logs, one record per solve trace")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	if fs.NArg() > 0 {
 		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if cfg.workers < 0 || cfg.cache < 0 || cfg.structCache < 0 || cfg.timeout < 0 {
-		return config{}, errors.New("workers, cache, structcache and timeout must be non-negative")
+	if cfg.workers < 0 || cfg.cache < 0 || cfg.structCache < 0 || cfg.traceBuf < 0 || cfg.timeout < 0 {
+		return config{}, errors.New("workers, cache, structcache, tracebuf and timeout must be non-negative")
 	}
 	return cfg, nil
+}
+
+// withPprof mounts the net/http/pprof handlers next to the API. The API
+// mux owns every other path (including /debug/traces), so profiling rides
+// alongside without touching the engine's routes.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs handler on ln until ctx is canceled, then drains in-flight

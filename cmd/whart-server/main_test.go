@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -14,23 +15,67 @@ import (
 )
 
 func TestParseFlags(t *testing.T) {
-	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-workers", "2", "-cache", "8", "-timeout", "5s"})
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:9999", "-workers", "2", "-cache", "8", "-timeout", "5s",
+		"-tracebuf", "16", "-debug", "-logjson"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.addr != "127.0.0.1:9999" || cfg.workers != 2 || cfg.cache != 8 || cfg.timeout != 5*time.Second {
 		t.Errorf("cfg = %+v", cfg)
 	}
+	if cfg.traceBuf != 16 || !cfg.debug || !cfg.logJSON {
+		t.Errorf("observability flags not parsed: %+v", cfg)
+	}
+	defaults, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaults.debug || defaults.logJSON || defaults.traceBuf != 0 {
+		t.Errorf("debug/logjson must default off: %+v", defaults)
+	}
 	for _, args := range [][]string{
 		{"-workers", "-1"},
 		{"-cache", "-5"},
 		{"-timeout", "-1s"},
+		{"-tracebuf", "-2"},
 		{"stray-arg"},
 		{"-no-such-flag"},
 	} {
 		if _, err := parseFlags(args); err == nil {
 			t.Errorf("parseFlags(%v) accepted, want error", args)
 		}
+	}
+}
+
+// TestWithPprof checks the -debug mux: pprof answers under /debug/pprof/
+// while API routes (including /debug/traces) keep working; without the
+// wrapper, pprof stays hidden.
+func TestWithPprof(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	api := engine.NewHandler(eng, time.Second)
+
+	srv := httptest.NewServer(withPprof(api))
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/healthz", "/metrics/prom", "/debug/traces"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	plain := httptest.NewServer(api)
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -debug: status %d, want 404", resp.StatusCode)
 	}
 }
 

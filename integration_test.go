@@ -12,6 +12,9 @@ import (
 // path, and the aggregate measures, all at a scale well beyond the paper's
 // evaluation.
 func TestScaleLargeNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow large-network integration test in -short mode")
+	}
 	rng := rand.New(rand.NewSource(2026))
 	net := New()
 	if err := net.Gateway("G"); err != nil {

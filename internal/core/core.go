@@ -35,6 +35,7 @@ type Analyzer struct {
 	sources   []topology.NodeID
 	cache     PathModelCache
 	structs   StructureCache
+	tracer    Tracer
 
 	// localStructs memoizes built structures within this analyzer so the
 	// paths of one analysis — and the perturbed re-analyses of a
@@ -51,6 +52,18 @@ type Analyzer struct {
 type PathModelCache interface {
 	GetModel(key string) (*pathmodel.Model, bool)
 	PutModel(key string, m *pathmodel.Model)
+}
+
+// Tracer receives stage-timing hooks from an analysis: StartSpan opens a
+// named stage with alternating key, value attributes and returns the
+// function that closes it, which may append attributes learned while the
+// stage ran (a cache outcome). Implementations must be safe for
+// concurrent use. The interface is defined here — not imported — so core
+// stays free of any observability dependency; obs.Trace satisfies it
+// structurally and the evaluation engine injects one per solve via
+// WithTracer.
+type Tracer interface {
+	StartSpan(name string, attrs ...string) func(attrs ...string)
 }
 
 // StructureCache shares link-model-free path structures across analyses
@@ -182,6 +195,17 @@ func WithStructureCache(cache StructureCache) Option {
 	}
 }
 
+// WithTracer registers a per-stage tracing hook: every path build and
+// solve reports structure-cache lookups, kernel binds, transient solves
+// and measure derivations as named spans. A nil tracer (the default)
+// costs nothing on the solve path.
+func WithTracer(t Tracer) Option {
+	return func(a *Analyzer) error {
+		a.tracer = t
+		return nil
+	}
+}
+
 // WithSources restricts the analysis to the given reporting sources; the
 // remaining field devices act as pure relays and need no dedicated slots.
 // The default is every routed field device.
@@ -302,15 +326,31 @@ func (a *Analyzer) BuildPathModel(source topology.NodeID) (*pathmodel.Model, err
 	return a.buildPathModelWith(source, nil)
 }
 
+// span opens a tracing span when a Tracer is configured; without one it
+// returns a shared no-op closer.
+func (a *Analyzer) span(name string, attrs ...string) func(attrs ...string) {
+	if a.tracer == nil {
+		return noopSpanEnd
+	}
+	return a.tracer.StartSpan(name, attrs...)
+}
+
+// noopSpanEnd is the closer handed out when tracing is off.
+func noopSpanEnd(...string) {}
+
 // structureFor returns the path structure for one schedule geometry,
 // consulting the analyzer-local memo first and the shared StructureCache
-// second; a freshly built structure is published to both.
+// second; a freshly built structure is published to both. The "structure"
+// span reports where the lookup landed: "local" (analyzer memo), "hit"
+// (shared cache) or "miss" (Algorithm 1 ran).
 func (a *Analyzer) structureFor(slots []int, ttl int) (*pathmodel.Structure, error) {
+	end := a.span("structure")
 	key := pathmodel.StructKey(slots, a.sched.Fup(), a.is, ttl)
 	a.structMu.Lock()
 	st, ok := a.localStructs[key]
 	a.structMu.Unlock()
 	if ok {
+		end("cache", "local")
 		return st, nil
 	}
 	if a.structs != nil {
@@ -318,13 +358,16 @@ func (a *Analyzer) structureFor(slots []int, ttl int) (*pathmodel.Structure, err
 			a.structMu.Lock()
 			a.localStructs[key] = st
 			a.structMu.Unlock()
+			end("cache", "hit")
 			return st, nil
 		}
 	}
 	st, err := pathmodel.BuildStructure(slots, a.sched.Fup(), a.is, ttl)
 	if err != nil {
+		end("cache", "miss", "error", err.Error())
 		return nil, err
 	}
+	defer end("cache", "miss")
 	a.structMu.Lock()
 	a.localStructs[key] = st
 	a.structMu.Unlock()
@@ -352,9 +395,13 @@ func (a *Analyzer) buildPathModelWith(source topology.NodeID, availOf func(topol
 	if a.cache != nil && availOf == nil {
 		if models, cacheable := a.pathModels(p); cacheable {
 			key = PathKey(slots, a.sched.Fup(), a.is, a.ttl, models)
-			if m, ok := a.cache.GetModel(key); ok {
+			endKernel := a.span("kernel", "source", itoa(int(source)))
+			m, ok := a.cache.GetModel(key)
+			if ok {
+				endKernel("cache", "hit")
 				return m, nil
 			}
+			endKernel("cache", "miss")
 		}
 	}
 	st, err := a.structureFor(slots, a.ttl)
@@ -368,7 +415,9 @@ func (a *Analyzer) buildPathModelWith(source topology.NodeID, availOf func(topol
 	for h, lid := range p.Links() {
 		avails[h] = availOf(lid)
 	}
+	endBind := a.span("bind", "source", itoa(int(source)))
 	m, err := st.Bind(avails)
+	endBind()
 	if err != nil {
 		return nil, err
 	}
@@ -377,6 +426,9 @@ func (a *Analyzer) buildPathModelWith(source topology.NodeID, availOf func(topol
 	}
 	return m, nil
 }
+
+// itoa keeps span-attribute call sites short.
+func itoa(v int) string { return strconv.Itoa(v) }
 
 // pathModels returns the link model of each hop, and whether the path is
 // cacheable (no per-slot availability override on any hop).
@@ -402,10 +454,13 @@ func (a *Analyzer) analyzePathWith(source topology.NodeID, availOf func(topology
 	if err != nil {
 		return nil, err
 	}
+	endSolve := a.span("solve", "source", itoa(int(source)))
 	res, err := m.Solve()
+	endSolve()
 	if err != nil {
 		return nil, err
 	}
+	defer a.span("measures", "source", itoa(int(source)))()
 	pa := &PathAnalysis{
 		Source:            source,
 		Path:              a.routes[source],
@@ -460,6 +515,7 @@ func (a *Analyzer) analyzeWith(availOf func(topology.LinkID) link.Availability) 
 		out.UtilizationExact += pa.UtilizationExact
 		out.UtilizationClosed += pa.UtilizationClosed
 	}
+	defer a.span("measures", "scope", "network")()
 	var err error
 	if out.OverallDelay, err = measures.OverallDelay(results, a.fdown); err != nil {
 		return nil, err

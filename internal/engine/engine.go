@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"wirelesshart/internal/core"
 	"wirelesshart/internal/link"
 	"wirelesshart/internal/measures"
+	"wirelesshart/internal/obs"
 	"wirelesshart/internal/pathmodel"
 	"wirelesshart/internal/spec"
 )
@@ -34,6 +36,13 @@ type Config struct {
 	// are keyed by schedule geometry alone, so far fewer distinct entries
 	// exist than scenarios; the default is CacheSize.
 	StructCacheSize int
+	// TraceCapacity bounds the in-memory ring of recent solve traces
+	// served at /debug/traces. Default obs.DefaultTraceCapacity.
+	TraceCapacity int
+	// TraceLogger, when non-nil, receives one structured record per
+	// finished solve trace (per-stage timings included) — the slog sink
+	// behind whart-server's -logjson flag.
+	TraceLogger *slog.Logger
 }
 
 // Engine evaluates WirelessHART scenarios concurrently with caching and
@@ -57,6 +66,7 @@ type Engine struct {
 	structCache *lruCache // pathmodel.StructKey -> *pathmodel.Structure
 
 	metrics *Metrics
+	traces  *obs.Recorder
 }
 
 // call is one in-flight solve; followers wait on done.
@@ -77,7 +87,7 @@ func New(cfg Config) *Engine {
 	if cfg.StructCacheSize <= 0 {
 		cfg.StructCacheSize = cfg.CacheSize
 	}
-	return &Engine{
+	e := &Engine{
 		workers:     cfg.Workers,
 		sem:         make(chan struct{}, cfg.Workers),
 		cache:       newLRU(cfg.CacheSize),
@@ -86,7 +96,32 @@ func New(cfg Config) *Engine {
 		kernelCache: newLRU(cfg.CacheSize),
 		structCache: newLRU(cfg.StructCacheSize),
 		metrics:     newMetrics(),
+		traces:      obs.NewRecorder(cfg.TraceCapacity),
 	}
+	e.traces.SetLogger(cfg.TraceLogger)
+	// Scrape-time gauges: sizes are read under their caches' locks, so
+	// the Prometheus exposition always reports live occupancy.
+	reg := e.metrics.reg
+	reg.GaugeFunc("whart_engine_workers", "Configured worker-pool size.",
+		func() float64 { return float64(e.workers) })
+	reg.GaugeFunc("whart_engine_cache_entries", "Scenario results currently cached.", func() float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return float64(e.cache.len())
+	})
+	reg.GaugeFunc("whart_engine_cache_capacity", "Scenario cache capacity.",
+		func() float64 { return float64(e.cache.cap) })
+	reg.GaugeFunc("whart_engine_kernel_cache_entries", "Compiled kernels currently cached.", func() float64 {
+		e.kernelMu.Lock()
+		defer e.kernelMu.Unlock()
+		return float64(e.kernelCache.len())
+	})
+	reg.GaugeFunc("whart_engine_struct_cache_entries", "Path structures currently cached.", func() float64 {
+		e.structMu.Lock()
+		defer e.structMu.Unlock()
+		return float64(e.structCache.len())
+	})
+	return e
 }
 
 // kernels is the engine's view of its two-tier model cache as a
@@ -195,6 +230,13 @@ func (r *Result) Path(source string) (PathResult, bool) {
 // Metrics returns the engine's live counters.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
+// Registry returns the metric registry backing /metrics/prom.
+func (e *Engine) Registry() *obs.Registry { return e.metrics.reg }
+
+// Traces returns the recorder holding the most recent solve traces — the
+// data behind /debug/traces.
+func (e *Engine) Traces() *obs.Recorder { return e.traces }
+
 // MetricsSnapshot returns a point-in-time copy of all engine metrics.
 func (e *Engine) MetricsSnapshot() Snapshot {
 	s := e.metrics.snapshot()
@@ -216,7 +258,9 @@ func (e *Engine) MetricsSnapshot() Snapshot {
 // Concurrent calls with canonically identical scenarios share one solve.
 // The returned Result is shared: treat it as read-only.
 func (e *Engine) Evaluate(ctx context.Context, s *spec.Spec) (*Result, error) {
+	canonStart := time.Now()
 	key, err := Key(s)
+	canonDur := time.Since(canonStart)
 	if err != nil {
 		e.metrics.errors.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrBadScenario, err)
@@ -242,7 +286,7 @@ func (e *Engine) Evaluate(ctx context.Context, s *spec.Spec) (*Result, error) {
 	e.mu.Unlock()
 	e.metrics.cacheMisses.Add(1)
 
-	c.res, c.err = e.solve(ctx, s, key)
+	c.res, c.err = e.solve(ctx, s, key, canonStart, canonDur)
 	e.mu.Lock()
 	delete(e.inflight, key)
 	if c.err == nil {
@@ -253,14 +297,26 @@ func (e *Engine) Evaluate(ctx context.Context, s *spec.Spec) (*Result, error) {
 	return c.res, c.err
 }
 
-// solve builds and analyzes the scenario under the worker pool.
-func (e *Engine) solve(ctx context.Context, s *spec.Spec, key string) (*Result, error) {
+// solve builds and analyzes the scenario under the worker pool, recording
+// one trace per solve: canonicalization (timed by Evaluate before the
+// cache lookup), the wait for a worker slot, the spec build, and — via the
+// core.Tracer hook — every per-path structure lookup, kernel bind,
+// transient solve and measure derivation.
+func (e *Engine) solve(ctx context.Context, s *spec.Spec, key string, canonStart time.Time, canonDur time.Duration) (res *Result, err error) {
+	tr := e.traces.StartTrace("solve", "key", key)
+	defer func() { tr.End(err) }()
+	tr.RecordSpan("canonicalize", canonStart, canonDur)
+	ctx = obs.ContextWithTrace(ctx, tr)
+
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	endQueue := obs.StartSpan(ctx, "queue")
 	select {
 	case e.sem <- struct{}{}:
+		endQueue()
 	case <-ctx.Done():
+		endQueue("canceled", "true")
 		return nil, ctx.Err()
 	}
 	defer func() { <-e.sem }()
@@ -268,12 +324,17 @@ func (e *Engine) solve(ctx context.Context, s *spec.Spec, key string) (*Result, 
 	defer e.metrics.inFlight.Add(-1)
 
 	start := time.Now()
-	built, err := s.BuildWith(core.WithPathModelCache(kernels{e}), core.WithStructureCache(kernels{e}))
+	endBuild := obs.StartSpan(ctx, "build")
+	built, err := s.BuildWith(core.WithPathModelCache(kernels{e}), core.WithStructureCache(kernels{e}),
+		core.WithTracer(tr))
+	endBuild()
 	if err != nil {
 		e.metrics.errors.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrBadScenario, err)
 	}
+	endAnalyze := obs.StartSpan(ctx, "analyze")
 	na, err := built.Analyzer.Analyze()
+	endAnalyze()
 	if err != nil {
 		e.metrics.errors.Add(1)
 		return nil, fmt.Errorf("engine: solve: %w", err)

@@ -21,7 +21,9 @@ const maxRequestBytes = 1 << 20
 //	POST /v1/network   {"scenario": <spec>}                    aggregate Gamma/U over all sources
 //	POST /v1/predict   {"scenario": <spec>, "candidates": [{"via": "n4", "ebN0": 7}, ...]}
 //	GET  /healthz                                              liveness
-//	GET  /metrics                                              engine counters and latency quantiles
+//	GET  /metrics                                              engine counters and latency quantiles (JSON)
+//	GET  /metrics/prom                                         Prometheus text exposition
+//	GET  /debug/traces                                         most recent solve traces with per-stage timings
 //
 // Every request is bounded by timeout (zero means no limit) and a 1 MiB
 // body cap; scenario JSON is validated strictly (unknown fields rejected).
@@ -30,6 +32,8 @@ func NewHandler(e *Engine, timeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/metrics", s.metrics)
+	mux.Handle("/metrics/prom", e.Registry().Handler())
+	mux.Handle("/debug/traces", e.Traces().Handler())
 	mux.HandleFunc("/v1/evaluate", s.evaluate)
 	mux.HandleFunc("/v1/network", s.network)
 	mux.HandleFunc("/v1/predict", s.predict)

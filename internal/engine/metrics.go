@@ -1,107 +1,101 @@
 package engine
 
 import (
-	"sync/atomic"
 	"time"
+
+	"wirelesshart/internal/obs"
 )
 
-// latencyBucketsMS are the histogram upper bounds for solve latency, in
-// milliseconds. The last implicit bucket is +Inf.
-var latencyBucketsMS = []float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+// solveLatencyBuckets are the histogram upper bounds for solve latency in
+// seconds (250us .. 2.5s); the +Inf bucket is implicit. They back both the
+// Prometheus exposition and the JSON snapshot's interpolated quantiles.
+var solveLatencyBuckets = []float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
 
-// Metrics counts the engine's work. All methods are safe for concurrent
-// use; counters only ever increase, InFlight is a gauge.
+// Metrics counts the engine's work on top of an obs.Registry, so the same
+// counters feed the legacy JSON snapshot and the Prometheus exposition at
+// /metrics/prom. All methods are safe for concurrent use; counters only
+// ever increase, in-flight is a gauge.
 type Metrics struct {
-	solves       atomic.Int64
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	deduped      atomic.Int64
-	errors       atomic.Int64
-	inFlight     atomic.Int64
-	kernelHits   atomic.Int64
-	kernelMisses atomic.Int64
-	structHits   atomic.Int64
-	structMisses atomic.Int64
+	reg *obs.Registry
 
-	latCount   atomic.Int64
-	latSumUS   atomic.Int64 // microseconds, for the mean
-	latBuckets []atomic.Int64
+	solves       *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	deduped      *obs.Counter
+	errors       *obs.Counter
+	inFlight     *obs.Gauge
+	kernelHits   *obs.Counter
+	kernelMisses *obs.Counter
+	structHits   *obs.Counter
+	structMisses *obs.Counter
+	solveSeconds *obs.Histogram
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{latBuckets: make([]atomic.Int64, len(latencyBucketsMS)+1)}
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg:          reg,
+		solves:       reg.Counter("whart_engine_solves_total", "Full scenario solves performed."),
+		cacheHits:    reg.Counter("whart_engine_cache_hits_total", "Evaluate calls served from the scenario cache."),
+		cacheMisses:  reg.Counter("whart_engine_cache_misses_total", "Evaluate calls that had to solve."),
+		deduped:      reg.Counter("whart_engine_deduped_total", "Evaluate calls that piggybacked on an in-flight solve."),
+		errors:       reg.Counter("whart_engine_errors_total", "Failed evaluations."),
+		inFlight:     reg.Gauge("whart_engine_in_flight", "Solves currently running."),
+		kernelHits:   reg.Counter("whart_engine_kernel_cache_hits_total", "Path-model builds served from the compiled-kernel cache."),
+		kernelMisses: reg.Counter("whart_engine_kernel_cache_misses_total", "Path-model builds that compiled a fresh kernel."),
+		structHits:   reg.Counter("whart_engine_struct_cache_hits_total", "Path-structure lookups served from the structure cache."),
+		structMisses: reg.Counter("whart_engine_struct_cache_misses_total", "Path-structure lookups that ran Algorithm 1."),
+		solveSeconds: reg.Histogram("whart_engine_solve_duration_seconds", "End-to-end scenario solve latency.", solveLatencyBuckets),
+	}
 }
 
+// Registry exposes the underlying metric registry — the source of the
+// Prometheus exposition at /metrics/prom.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
 // Solves returns the number of full scenario solves performed.
-func (m *Metrics) Solves() int64 { return m.solves.Load() }
+func (m *Metrics) Solves() int64 { return m.solves.Value() }
 
 // CacheHits returns the number of Evaluate calls served from the cache.
-func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
+func (m *Metrics) CacheHits() int64 { return m.cacheHits.Value() }
 
 // CacheMisses returns the number of Evaluate calls that had to solve.
-func (m *Metrics) CacheMisses() int64 { return m.cacheMisses.Load() }
+func (m *Metrics) CacheMisses() int64 { return m.cacheMisses.Value() }
 
 // Deduped returns the number of Evaluate calls that piggybacked on an
 // identical in-flight solve (single-flight followers).
-func (m *Metrics) Deduped() int64 { return m.deduped.Load() }
+func (m *Metrics) Deduped() int64 { return m.deduped.Value() }
 
 // InFlight returns the number of solves currently running.
-func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+func (m *Metrics) InFlight() int64 { return int64(m.inFlight.Value()) }
 
 // KernelCacheHits returns the number of path-model builds served from the
 // compiled-kernel cache.
-func (m *Metrics) KernelCacheHits() int64 { return m.kernelHits.Load() }
+func (m *Metrics) KernelCacheHits() int64 { return m.kernelHits.Value() }
 
 // KernelCacheMisses returns the number of path-model builds that had to
 // construct and compile a fresh kernel.
-func (m *Metrics) KernelCacheMisses() int64 { return m.kernelMisses.Load() }
+func (m *Metrics) KernelCacheMisses() int64 { return m.kernelMisses.Value() }
 
 // StructCacheHits returns the number of path-structure lookups served from
 // the structure cache (the state space and frozen CSR pattern were reused;
 // only a value bind was paid).
-func (m *Metrics) StructCacheHits() int64 { return m.structHits.Load() }
+func (m *Metrics) StructCacheHits() int64 { return m.structHits.Value() }
 
 // StructCacheMisses returns the number of path-structure lookups that had
 // to run Algorithm 1 and compile a fresh CSR pattern.
-func (m *Metrics) StructCacheMisses() int64 { return m.structMisses.Load() }
+func (m *Metrics) StructCacheMisses() int64 { return m.structMisses.Value() }
 
 func (m *Metrics) observeLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
-		i++
-	}
-	m.latBuckets[i].Add(1)
-	m.latCount.Add(1)
-	m.latSumUS.Add(d.Microseconds())
+	m.solveSeconds.Observe(d.Seconds())
 }
 
-// quantileMS returns the upper bound (ms) of the histogram bucket in which
-// the q-quantile of observed solve latencies falls; the open last bucket
-// reports its lower bound. Zero observations yield 0.
-func (m *Metrics) quantileMS(q float64) float64 {
-	total := m.latCount.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q*float64(total) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for i := range m.latBuckets {
-		cum += m.latBuckets[i].Load()
-		if cum >= rank {
-			if i < len(latencyBucketsMS) {
-				return latencyBucketsMS[i]
-			}
-			return latencyBucketsMS[len(latencyBucketsMS)-1]
-		}
-	}
-	return latencyBucketsMS[len(latencyBucketsMS)-1]
-}
-
-// LatencySnapshot summarizes solve latency.
+// LatencySnapshot summarizes solve latency. The quantiles interpolate
+// inside the histogram bucket holding the rank (the standard Prometheus
+// estimate), replacing the old report of the raw bucket bound.
 type LatencySnapshot struct {
 	Count  int64   `json:"count"`
 	MeanMS float64 `json:"meanMS"`
@@ -131,22 +125,22 @@ type Snapshot struct {
 
 func (m *Metrics) snapshot() Snapshot {
 	s := Snapshot{
-		Solves:            m.solves.Load(),
-		CacheHits:         m.cacheHits.Load(),
-		CacheMisses:       m.cacheMisses.Load(),
-		Deduped:           m.deduped.Load(),
-		Errors:            m.errors.Load(),
-		InFlight:          m.inFlight.Load(),
-		KernelCacheHits:   m.kernelHits.Load(),
-		KernelCacheMisses: m.kernelMisses.Load(),
-		StructCacheHits:   m.structHits.Load(),
-		StructCacheMisses: m.structMisses.Load(),
+		Solves:            m.solves.Value(),
+		CacheHits:         m.cacheHits.Value(),
+		CacheMisses:       m.cacheMisses.Value(),
+		Deduped:           m.deduped.Value(),
+		Errors:            m.errors.Value(),
+		InFlight:          int64(m.inFlight.Value()),
+		KernelCacheHits:   m.kernelHits.Value(),
+		KernelCacheMisses: m.kernelMisses.Value(),
+		StructCacheHits:   m.structHits.Value(),
+		StructCacheMisses: m.structMisses.Value(),
 	}
-	s.SolveTime.Count = m.latCount.Load()
+	s.SolveTime.Count = m.solveSeconds.Count()
 	if s.SolveTime.Count > 0 {
-		s.SolveTime.MeanMS = float64(m.latSumUS.Load()) / 1000 / float64(s.SolveTime.Count)
-		s.SolveTime.P50MS = m.quantileMS(0.5)
-		s.SolveTime.P99MS = m.quantileMS(0.99)
+		s.SolveTime.MeanMS = m.solveSeconds.Sum() / float64(s.SolveTime.Count) * 1000
+		s.SolveTime.P50MS = m.solveSeconds.Quantile(0.5) * 1000
+		s.SolveTime.P99MS = m.solveSeconds.Quantile(0.99) * 1000
 	}
 	return s
 }

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity is the ring size used when a Recorder is created
+// with a non-positive capacity.
+const DefaultTraceCapacity = 64
+
+// SpanView is the JSON-ready form of one recorded span. OffsetUS is the
+// span's start relative to the trace start, so overlapping stages can be
+// laid out on a timeline.
+type SpanView struct {
+	Name     string `json:"name"`
+	OffsetUS int64  `json:"offsetUS"`
+	DurUS    int64  `json:"durUS"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named span attribute ("" if absent).
+func (s SpanView) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TraceView is the JSON-ready form of one finished trace.
+type TraceView struct {
+	Name  string     `json:"name"`
+	Start time.Time  `json:"start"`
+	DurUS int64      `json:"durUS"`
+	Error string     `json:"error,omitempty"`
+	Attrs []Attr     `json:"attrs,omitempty"`
+	Spans []SpanView `json:"spans"`
+}
+
+// Attr returns the value of the named trace attribute ("" if absent).
+func (v TraceView) Attr(key string) string {
+	for _, a := range v.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Span returns the first span with the given name, and whether one exists.
+func (v TraceView) Span(name string) (SpanView, bool) {
+	for _, s := range v.Spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SpanView{}, false
+}
+
+// Recorder keeps the most recent finished traces in a fixed-size ring and
+// optionally mirrors each one to a structured logger. It is safe for
+// concurrent use; a nil Recorder is a valid no-op (StartTrace returns a
+// nil Trace, whose methods are themselves no-ops).
+type Recorder struct {
+	mu     sync.Mutex
+	ring   []TraceView // capacity-sized once full; next points at the oldest
+	next   int
+	total  uint64
+	logger *slog.Logger
+	cap    int
+}
+
+// NewRecorder returns a recorder keeping the last capacity traces
+// (DefaultTraceCapacity if capacity is not positive).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Recorder{cap: capacity}
+}
+
+// SetLogger mirrors every finished trace to l as one structured record.
+// Pass nil to stop logging.
+func (r *Recorder) SetLogger(l *slog.Logger) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.logger = l
+	r.mu.Unlock()
+}
+
+// StartTrace begins a trace with alternating key, value attributes. The
+// trace joins the ring when its End is called.
+func (r *Recorder) StartTrace(name string, kv ...string) *Trace {
+	if r == nil {
+		return nil
+	}
+	return &Trace{name: name, start: time.Now(), rec: r, attrs: attrsFrom(kv)}
+}
+
+// record files one finished trace.
+func (r *Recorder) record(v TraceView) {
+	r.mu.Lock()
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, v)
+	} else {
+		r.ring[r.next] = v
+		r.next = (r.next + 1) % r.cap
+	}
+	r.total++
+	logger := r.logger
+	r.mu.Unlock()
+	if logger != nil {
+		attrs := []slog.Attr{
+			slog.String("name", v.Name),
+			slog.Int64("durUS", v.DurUS),
+			slog.Int("spans", len(v.Spans)),
+		}
+		for _, a := range v.Attrs {
+			attrs = append(attrs, slog.String(a.Key, a.Value))
+		}
+		for _, s := range v.Spans {
+			attrs = append(attrs, slog.Int64("span."+s.Name+".durUS", s.DurUS))
+		}
+		level := slog.LevelInfo
+		if v.Error != "" {
+			level = slog.LevelWarn
+			attrs = append(attrs, slog.String("error", v.Error))
+		}
+		logger.LogAttrs(context.Background(), level, "trace", attrs...)
+	}
+}
+
+// Snapshot returns the recorded traces, most recent first.
+func (r *Recorder) Snapshot() []TraceView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceView, 0, len(r.ring))
+	for i := len(r.ring) - 1 + r.next; i >= r.next; i-- {
+		out = append(out, r.ring[i%len(r.ring)])
+	}
+	return out
+}
+
+// Total returns how many traces have ever been recorded (including ones
+// the ring has since evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Flush emits a final summary record through the configured logger — the
+// shutdown hook that makes sure the trace stream ends with an explicit
+// marker even though ring entries themselves live only in memory.
+func (r *Recorder) Flush() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	logger := r.logger
+	total := r.total
+	retained := len(r.ring)
+	r.mu.Unlock()
+	if logger != nil {
+		logger.LogAttrs(context.Background(), slog.LevelInfo, "traces flushed",
+			slog.Uint64("total", total), slog.Int("retained", retained))
+	}
+}
+
+// tracesResponse is the /debug/traces payload.
+type tracesResponse struct {
+	Total  uint64      `json:"total"`
+	Traces []TraceView `json:"traces"`
+}
+
+// Handler serves the recorded traces as JSON (GET only), newest first.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tracesResponse{Total: r.Total(), Traces: r.Snapshot()})
+	})
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte: one
+// metric of every kind, rendered in registration order with HELP/TYPE
+// lines, cumulative histogram buckets, +Inf, sum and count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("whart_test_requests_total", "Requests handled.")
+	c.Add(3)
+	g := r.Gauge("whart_test_in_flight", "Work in progress.")
+	g.Set(2)
+	g.Add(-0.5)
+	r.GaugeFunc("whart_test_cache_entries", "Entries cached.", func() float64 { return 7 })
+	h := r.Histogram("whart_test_duration_seconds", "Stage latency.", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.05, 0.3, 2.5} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP whart_test_requests_total Requests handled.
+# TYPE whart_test_requests_total counter
+whart_test_requests_total 3
+# HELP whart_test_in_flight Work in progress.
+# TYPE whart_test_in_flight gauge
+whart_test_in_flight 1.5
+# HELP whart_test_cache_entries Entries cached.
+# TYPE whart_test_cache_entries gauge
+whart_test_cache_entries 7
+# HELP whart_test_duration_seconds Stage latency.
+# TYPE whart_test_duration_seconds histogram
+whart_test_duration_seconds_bucket{le="0.1"} 2
+whart_test_duration_seconds_bucket{le="0.5"} 3
+whart_test_duration_seconds_bucket{le="1"} 3
+whart_test_duration_seconds_bucket{le="+Inf"} 4
+whart_test_duration_seconds_sum 2.9
+whart_test_duration_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryIdempotentAndPanics(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a_total", "")
+	c1.Inc()
+	if c2 := r.Counter("a_total", ""); c2 != c1 {
+		t.Error("re-registering a counter returned a different instance")
+	}
+	h1 := r.Histogram("h_seconds", "", []float64{1, 2})
+	if h2 := r.Histogram("h_seconds", "", []float64{1, 2}); h2 != h1 {
+		t.Error("re-registering a histogram returned a different instance")
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("kind clash", func() { r.Gauge("a_total", "") })
+	mustPanic("invalid name", func() { r.Counter("bad name", "") })
+	mustPanic("leading digit", func() { r.Counter("0bad", "") })
+	mustPanic("empty name", func() { r.Counter("", "") })
+	mustPanic("empty bounds", func() { r.Histogram("h2_seconds", "", nil) })
+	mustPanic("unsorted bounds", func() { r.Histogram("h3_seconds", "", []float64{2, 1}) })
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value() = %d, want 5 (negative add must be dropped)", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 10 observations in (1,2]: quantiles interpolate inside that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got <= 1 || got > 2 {
+		t.Errorf("p50 = %v, want within (1,2]", got)
+	}
+	if p10, p90 := h.Quantile(0.1), h.Quantile(0.9); p10 >= p90 {
+		t.Errorf("p10 %v >= p90 %v", p10, p90)
+	}
+	h.Observe(100) // beyond the last bound: open bucket reports its lower bound
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("p100 = %v, want last bound 4", got)
+	}
+	if got := h.Count(); got != 11 {
+		t.Errorf("Count() = %d, want 11", got)
+	}
+	if got := h.Sum(); math.Abs(got-115) > 1e-9 {
+		t.Errorf("Sum() = %v, want 115", got)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_seconds", "", []float64{0.5, 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j%3) * 0.4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handled_total", "h").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q, want Prometheus text format", ct)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "handled_total 1") {
+		t.Errorf("missing sample in %q", sb.String())
+	}
+
+	post, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status %d, want 405", post.StatusCode)
+	}
+}
