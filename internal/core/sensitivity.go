@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"wirelesshart/internal/link"
@@ -89,13 +90,20 @@ func (a *Analyzer) SensitivityAnalysis(delta float64) ([]LinkSensitivity, error)
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].MeanGain != out[j].MeanGain {
-			return out[i].MeanGain > out[j].MeanGain
+		// Gains within the solver's numerical noise are ties; ranking on
+		// raw float equality would let 1e-17 drift reorder the list
+		// between runs.
+		if d := out[i].MeanGain - out[j].MeanGain; math.Abs(d) > gainTieTolerance {
+			return d > 0
 		}
 		return out[i].Link.ID < out[j].Link.ID
 	})
 	return out, nil
 }
+
+// gainTieTolerance is the gain difference below which two links are
+// considered equally sensitive and ranked by ID instead.
+const gainTieTolerance = 1e-12
 
 func worstReach(na *NetworkAnalysis) float64 {
 	worst := 1.0

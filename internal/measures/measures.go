@@ -31,7 +31,9 @@ func ExpectedIntervalsToFirstLoss(r float64) (float64, error) {
 	if r < 0 || r > 1 {
 		return 0, fmt.Errorf("measures: reachability %v out of [0,1]", r)
 	}
-	if r == 1 {
+	// r > 1 was rejected above, so >= catches exactly r == 1 without a raw
+	// floating-point equality.
+	if r >= 1 {
 		return 0, errors.New("measures: reachability is 1, messages are never lost")
 	}
 	return stats.GeometricMean(1 - r)
