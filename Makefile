@@ -4,15 +4,17 @@ GO ?= go
 COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core ./internal/obs
 COVER_MIN  = 85
 
-.PHONY: all build test race vet bench cover clean
+.PHONY: all build test race vet lint bench cover clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
+	$(GO) -C tools/lint build ./...
 
 test:
 	$(GO) test -shuffle=on ./...
+	$(GO) -C tools/lint test -shuffle=on ./...
 
 # -short skips the slow large-network integration tests; the race detector
 # already multiplies their runtime several-fold.
@@ -21,6 +23,19 @@ race:
 
 vet:
 	$(GO) vet ./...
+	$(GO) -C tools/lint vet ./...
+
+# Mirrors the CI lint job: vet, the repo's own analyzer suite (layercheck,
+# probfloat, mustcheck, exhaustenum — see DESIGN.md §11) over both modules,
+# and staticcheck when it is installed (CI pins and installs it).
+lint: vet
+	$(GO) -C tools/lint run ./cmd/whart-lint -dir $(CURDIR) ./...
+	$(GO) -C tools/lint run ./cmd/whart-lint -dir $(CURDIR)/tools/lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,61 @@
+// Package analysis is a deliberately small reimplementation of the
+// golang.org/x/tools/go/analysis surface that whart-lint's analyzers are
+// written against. The repo builds fully offline with a dependency-free
+// module graph, so vendoring x/tools is not an option; this package keeps
+// the same shape (Analyzer, Pass, Diagnostic, Reportf) so the analyzers
+// could be ported to the real framework by changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects a single type-checked
+// package via the Pass and reports findings through Pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph help text shown by whart-lint -help.
+	Doc string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between the driver and one analyzer run over one
+// package. All fields are read-only for the analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files of the package.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type and object resolution for Files.
+	TypesInfo *types.Info
+	// Module is the module path the package belongs to (e.g.
+	// "wirelesshart"); analyzers use it to restrict rules to first-party
+	// packages.
+	Module string
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding. Category is filled by the driver with the
+// analyzer name.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Category string
+}

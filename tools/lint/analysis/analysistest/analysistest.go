@@ -1,0 +1,121 @@
+// Package analysistest runs an analyzer over a golden testdata module and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract: each expectation
+// is a quoted regular expression on the line the diagnostic is reported
+// at, and the run fails on both unexpected diagnostics and unmatched
+// expectations.
+//
+// Unlike the x/tools harness, testdata is a self-contained Go module
+// (testdata/src/<case>/go.mod) rather than a GOPATH tree, because packages
+// are loaded through the go tool in module mode.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wirelesshart/tools/lint/analysis"
+	"wirelesshart/tools/lint/analysis/load"
+	"wirelesshart/tools/lint/analysis/runner"
+)
+
+type expectation struct {
+	rx      *regexp.Regexp
+	source  string
+	matched bool
+}
+
+// Run loads the module rooted at dir, applies the analyzer to the packages
+// matched by patterns (default ./...), and compares the diagnostics with
+// the // want comments in the sources.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Load(load.Config{Dir: dir}, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("loading %s: no packages matched", dir)
+	}
+	diags, err := runner.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	want := make(map[string]map[int][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg.Fset, f, want)
+		}
+	}
+
+	for _, d := range diags {
+		exps := want[d.Position.Filename][d.Position.Line]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
+		}
+	}
+	for file, lines := range want {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no diagnostic matching %q", file, line, e.source)
+				}
+			}
+		}
+	}
+}
+
+// collectWants gathers the expectations of one file: every comment of the
+// form `// want "rx" "rx2"` attaches to the comment's starting line.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, want map[string]map[int][]*expectation) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for {
+				rest = strings.TrimSpace(rest)
+				if rest == "" {
+					break
+				}
+				q, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+				}
+				rest = rest[len(q):]
+				unq, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: malformed want pattern %q: %v", pos, q, err)
+				}
+				rx, err := regexp.Compile(unq)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, unq, err)
+				}
+				lines := want[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*expectation)
+					want[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], &expectation{rx: rx, source: unq})
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package load turns `go list` package metadata into parsed, type-checked
+// packages without depending on golang.org/x/tools/go/packages. It shells
+// out to the go tool with -deps -export so every dependency (stdlib
+// included) is compiled into export data by the build cache, then
+// type-checks only the target packages from source, resolving imports
+// through the standard library's gc importer with a lookup function over
+// the export files. The whole pipeline works offline and needs nothing
+// beyond the toolchain itself.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	// ImportPath is the package's full import path.
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Module is the path of the module the package belongs to.
+	Module string
+	// Fset maps positions; it is shared by all packages of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, in GoFiles order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries full type and object resolution for Files.
+	Info *types.Info
+}
+
+// Config parameterizes a Load call.
+type Config struct {
+	// Dir is the working directory for the go tool; it must be inside the
+	// module whose packages are being loaded. Empty means the current
+	// directory.
+	Dir string
+}
+
+type listModule struct {
+	Path string
+}
+
+type listError struct {
+	Pos string
+	Err string
+}
+
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Name       string
+	Module     *listModule
+	Error      *listError
+	DepsErrors []*listError
+}
+
+// Load lists patterns with the go tool and returns the matched packages
+// parsed and type-checked. Dependencies are resolved from compiled export
+// data, so a package that fails to build surfaces as a load error rather
+// than a half-checked result.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Name,Module,Error,DepsErrors",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	// A surrounding go.work must not change which module the patterns
+	// resolve in; lint runs are per-module.
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		listed = append(listed, p)
+	}
+
+	var targets []*listPackage
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s: cgo packages are not supported", p.ImportPath)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("package %s: %v", t.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %v", t.ImportPath, err)
+		}
+		module := ""
+		if t.Module != nil {
+			module = t.Module.Path
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Module:     module,
+			Fset:       fset,
+			Files:      files,
+			Types:      tp,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}

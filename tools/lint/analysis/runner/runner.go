@@ -1,0 +1,124 @@
+// Package runner executes analyzers over loaded packages and applies the
+// suppression-comment protocol shared by the whart-lint binary and the
+// analysistest harness.
+package runner
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"wirelesshart/tools/lint/analysis"
+	"wirelesshart/tools/lint/analysis/load"
+)
+
+// Diagnostic is one positioned finding after suppression filtering.
+type Diagnostic struct {
+	Position token.Position
+	Category string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Category)
+}
+
+// suppressions maps filename -> line -> analyzer names silenced there. The
+// wildcard name "*" silences every analyzer on that line.
+type suppressions map[string]map[int]map[string]bool
+
+// SuppressPrefix introduces a suppression comment:
+//
+//	//whartlint:ignore <analyzer>[,<analyzer>...] [reason]
+//
+// placed on the flagged line or the line directly above it.
+const SuppressPrefix = "//whartlint:ignore"
+
+func collectSuppressions(pkgs []*load.Package) suppressions {
+	sup := make(suppressions)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, SuppressPrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					lines := sup[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						sup[pos.Filename] = lines
+					}
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						names := lines[ln]
+						if names == nil {
+							names = make(map[string]bool)
+							lines[ln] = names
+						}
+						for _, name := range strings.Split(fields[0], ",") {
+							names[name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) silenced(d Diagnostic) bool {
+	names := s[d.Position.Filename][d.Position.Line]
+	return names["*"] || names[d.Category]
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics sorted by position. Analyzer errors abort the run.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	sup := collectSuppressions(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Module:    pkg.Module,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				out := Diagnostic{
+					Position: pkg.Fset.Position(d.Pos),
+					Category: a.Name,
+					Message:  d.Message,
+				}
+				if !sup.silenced(out) {
+					diags = append(diags, out)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Category < b.Category
+	})
+	return diags, nil
+}

@@ -1,0 +1,51 @@
+package runner_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"wirelesshart/tools/lint/analysis"
+	"wirelesshart/tools/lint/analysis/load"
+	"wirelesshart/tools/lint/analysis/runner"
+)
+
+// flagFuncs reports one diagnostic per function declaration, so the test
+// can observe exactly which lines the suppression comments silence.
+var flagFuncs = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flag every function declaration",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "function %s flagged", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestSuppressionComments(t *testing.T) {
+	pkgs, err := load.Load(load.Config{Dir: "testdata/src/mod"}, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := runner.Run(pkgs, []*analysis.Analyzer{flagFuncs})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{"function flagged flagged", "function wrongName flagged"}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

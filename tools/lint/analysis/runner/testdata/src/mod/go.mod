@@ -1,0 +1,3 @@
+module suppressiontest
+
+go 1.22

@@ -1,0 +1,16 @@
+// Exercises the runner's suppression comments against a test analyzer
+// that flags every function declaration.
+package s
+
+func flagged() {}
+
+//whartlint:ignore testcheck suppressed from the line above
+func lineAbove() {}
+
+func sameLine() {} //whartlint:ignore testcheck suppressed on the same line
+
+//whartlint:ignore * wildcard silences every analyzer
+func wildcard() {}
+
+//whartlint:ignore othercheck a different analyzer's suppression does not apply
+func wrongName() {}

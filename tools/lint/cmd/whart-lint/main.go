@@ -1,0 +1,100 @@
+// Command whart-lint runs the repo's custom analyzer suite — layercheck,
+// probfloat, mustcheck, exhaustenum — over a set of package patterns and
+// exits non-zero on any diagnostic.
+//
+// It lives in its own module (wirelesshart/tools/lint) so the model
+// module's import graph stays dependency-free; run it from the repo root
+// with
+//
+//	go -C tools/lint run ./cmd/whart-lint -dir ../.. ./...
+//
+// or just `make lint`. Findings can be silenced line-by-line with
+//
+//	//whartlint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wirelesshart/tools/lint/analysis"
+	"wirelesshart/tools/lint/analysis/load"
+	"wirelesshart/tools/lint/analysis/runner"
+	"wirelesshart/tools/lint/exhaustenum"
+	"wirelesshart/tools/lint/layercheck"
+	"wirelesshart/tools/lint/mustcheck"
+	"wirelesshart/tools/lint/probfloat"
+)
+
+var all = []*analysis.Analyzer{
+	exhaustenum.Analyzer,
+	layercheck.Analyzer,
+	mustcheck.Analyzer,
+	probfloat.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dir := flag.String("dir", ".", "directory of the module to analyze (working directory for the go tool)")
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: whart-lint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Println(a.Name)
+		}
+		return 0
+	}
+
+	skip := make(map[string]bool)
+	for _, name := range strings.Split(*disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			skip[name] = true
+		}
+	}
+	var analyzers []*analysis.Analyzer
+	for _, a := range all {
+		if !skip[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(load.Config{Dir: *dir}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whart-lint: %v\n", err)
+		return 2
+	}
+	diags, err := runner.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whart-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "whart-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+package exhaustenum_test
+
+import (
+	"testing"
+
+	"wirelesshart/tools/lint/analysis/analysistest"
+	"wirelesshart/tools/lint/exhaustenum"
+)
+
+func TestExhaustenum(t *testing.T) {
+	analysistest.Run(t, "testdata/src/whart", exhaustenum.Analyzer, "./...")
+}

@@ -1,0 +1,90 @@
+package e
+
+import "wirelesshart/internal/link"
+
+// Measure is a local string-valued enum.
+type Measure string
+
+const (
+	Reachability Measure = "reachability"
+	Delay        Measure = "delay"
+	Utilization  Measure = "utilization"
+	// Util is a legacy alias: same value as Utilization, so covering
+	// either name covers the member.
+	Util Measure = "utilization"
+)
+
+func missingMember(k link.FailureKind) string {
+	switch k { // want `switch over link.FailureKind is not exhaustive and has no default clause: missing Permanent`
+	case link.Transient:
+		return "transient"
+	case link.RandomDuration:
+		return "random"
+	}
+	return ""
+}
+
+func missingTwo(m Measure) int {
+	switch m { // want `switch over Measure is not exhaustive and has no default clause: missing Delay, Util`
+	case Reachability:
+		return 1
+	}
+	return 0
+}
+
+func defaultClause(k link.FailureKind) string {
+	switch k { // a default keeps new members from silently falling through
+	case link.Transient:
+		return "transient"
+	default:
+		return "other"
+	}
+}
+
+func fullCoverage(k link.FailureKind) string {
+	switch k {
+	case link.Transient:
+		return "transient"
+	case link.RandomDuration:
+		return "random"
+	case link.Permanent:
+		return "permanent"
+	}
+	return ""
+}
+
+func aliasCoverage(m Measure) int {
+	switch m { // Util aliases Utilization, so all three values are covered
+	case Reachability, Delay, Util:
+		return 1
+	}
+	return 0
+}
+
+func nonConstantCase(m Measure, other Measure) int {
+	switch m { // non-constant case: coverage is not decidable, stay silent
+	case other:
+		return 1
+	}
+	return 0
+}
+
+func notAnEnum(x int) int {
+	switch x { // plain int is not an enum type
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+type once int
+
+const only once = 1
+
+func singleMember(o once) int {
+	switch o { // fewer than two members: not an enum
+	case only:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module wirelesshart
+
+go 1.22

@@ -1,0 +1,14 @@
+// Stub of the real failure-scenario enum.
+package link
+
+// FailureKind mirrors the paper's three failure classes.
+type FailureKind int
+
+const (
+	// Transient failures last one slot.
+	Transient FailureKind = iota + 1
+	// RandomDuration failures block the link for several slots.
+	RandomDuration
+	// Permanent failures never recover.
+	Permanent
+)

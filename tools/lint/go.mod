@@ -1,0 +1,3 @@
+module wirelesshart/tools/lint
+
+go 1.22

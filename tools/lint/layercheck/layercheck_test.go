@@ -1,0 +1,12 @@
+package layercheck_test
+
+import (
+	"testing"
+
+	"wirelesshart/tools/lint/analysis/analysistest"
+	"wirelesshart/tools/lint/layercheck"
+)
+
+func TestLayercheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/whart", layercheck.Analyzer, "./...")
+}

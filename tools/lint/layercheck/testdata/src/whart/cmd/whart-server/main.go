@@ -1,0 +1,9 @@
+package main
+
+import (
+	_ "wirelesshart/cmd/whart" // cmd-to-cmd is allowed
+	_ "wirelesshart/internal/core"
+	_ "wirelesshart/internal/engine"
+)
+
+func main() {}

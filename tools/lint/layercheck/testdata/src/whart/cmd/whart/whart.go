@@ -1,0 +1,2 @@
+// A helper library under cmd: only other cmd packages may import it.
+package whart

@@ -1,0 +1,8 @@
+package main
+
+import (
+	_ "wirelesshart/cmd/whart" // want `cmd packages must not be imported from outside cmd`
+	_ "wirelesshart/internal/engine"
+)
+
+func main() {}

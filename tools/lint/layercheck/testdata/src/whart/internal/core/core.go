@@ -1,0 +1,9 @@
+// core importing obs or engine is the canonical layering violation: the
+// solver must stay cacheable and observability-free.
+package core
+
+import (
+	_ "wirelesshart/internal/engine" // want `import of wirelesshart/internal/engine: not a registered edge of the internal/core layer \(core is below the engine`
+	_ "wirelesshart/internal/obs"    // want `import of wirelesshart/internal/obs: not a registered edge of the internal/core layer \(core must stay observability-free`
+	_ "wirelesshart/internal/stats"
+)

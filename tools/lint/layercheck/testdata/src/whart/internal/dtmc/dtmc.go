@@ -1,0 +1,8 @@
+// dtmc may import linalg and nothing else: reaching up to core breaks the
+// leaf contract.
+package dtmc
+
+import (
+	_ "wirelesshart/internal/core" // want `import of wirelesshart/internal/core: not a registered edge of the internal/dtmc layer`
+	_ "wirelesshart/internal/linalg"
+)

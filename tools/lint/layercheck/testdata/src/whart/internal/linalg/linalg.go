@@ -1,0 +1,2 @@
+// linalg is a leaf: no first-party imports at all.
+package linalg

@@ -1,0 +1,6 @@
+// An internal package that never declared its layer.
+package rogue
+
+import (
+	_ "wirelesshart/internal/linalg" // want `package wirelesshart/internal/rogue is not registered in the layercheck DAG`
+)

@@ -1,0 +1,7 @@
+// The root facade may depend on any layer except programs under cmd.
+package whart
+
+import (
+	_ "wirelesshart/cmd/whart" // want `cmd packages must not be imported from outside cmd`
+	_ "wirelesshart/internal/engine"
+)

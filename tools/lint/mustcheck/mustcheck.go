@@ -1,0 +1,118 @@
+// Package mustcheck is errcheck scoped to the APIs whose discarded
+// results corrupt shared state instead of merely losing information. A
+// dropped error from Kernel.Rebind or Structure.Bind means a caller keeps
+// using a kernel whose rows were never revalidated; a dropped
+// Chain.Validate error defeats the only stochasticity check a chain gets;
+// a Compile() whose result is thrown away silently populates the chain's
+// kernel cache. Generic errcheck would flag every fmt.Fprintf in the
+// repo; this pass watches exactly the solver-critical surface.
+package mustcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wirelesshart/tools/lint/analysis"
+)
+
+// Analyzer is the mustcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mustcheck",
+	Doc: "require callers to use the results of the solver-critical APIs " +
+		"(Kernel.Rebind, Structure.Bind, Chain.Validate, Chain.AddTransition*, " +
+		"Chain.Compile, CSR.WithValues): a dropped error there poisons cached kernels",
+	Run: run,
+}
+
+// checked is the set of functions (by types.Func.FullName) whose results
+// must not be discarded. Extend it when a new cache-poisoning API appears.
+var checked = map[string]bool{
+	"(*wirelesshart/internal/dtmc.Kernel).Rebind":         true,
+	"(*wirelesshart/internal/dtmc.Chain).Validate":        true,
+	"(*wirelesshart/internal/dtmc.Chain).AddTransition":   true,
+	"(*wirelesshart/internal/dtmc.Chain).AddTransitionFn": true,
+	"(*wirelesshart/internal/dtmc.Chain).Compile":         true,
+	"(*wirelesshart/internal/pathmodel.Structure).Bind":   true,
+	"(*wirelesshart/internal/linalg.CSR).WithValues":      true,
+	"wirelesshart/internal/linalg.NewCSR":                 true,
+	"wirelesshart/internal/link.New":                      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if fn := watched(pass, call); fn != nil {
+						pass.Reportf(call.Pos(), "result of %s discarded; it must be checked", fn.Name())
+					}
+				}
+			case *ast.GoStmt:
+				if fn := watched(pass, n.Call); fn != nil {
+					pass.Reportf(n.Call.Pos(), "result of %s discarded by go statement; it must be checked", fn.Name())
+				}
+			case *ast.DeferStmt:
+				if fn := watched(pass, n.Call); fn != nil {
+					pass.Reportf(n.Call.Pos(), "result of %s discarded by defer statement; it must be checked", fn.Name())
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags `x, _ := k.Rebind(...)`-style assignments that blank
+// out the error result of a watched call.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := watched(pass, call)
+	if fn == nil {
+		return
+	}
+	results := fn.Type().(*types.Signature).Results()
+	if len(as.Lhs) != results.Len() {
+		return // single-value context mismatches are a compile error anyway
+	}
+	for i := 0; i < results.Len(); i++ {
+		if !isErrorType(results.At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Lhs[i].Pos(), "error result of %s assigned to blank identifier; it must be checked", fn.Name())
+		}
+	}
+}
+
+// watched resolves call's static callee and returns it when it is in the
+// checked set.
+func watched(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || !checked[fn.FullName()] {
+		return nil
+	}
+	return fn
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,12 @@
+package mustcheck_test
+
+import (
+	"testing"
+
+	"wirelesshart/tools/lint/analysis/analysistest"
+	"wirelesshart/tools/lint/mustcheck"
+)
+
+func TestMustcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/whart", mustcheck.Analyzer, "./...")
+}

@@ -1,0 +1,14 @@
+// Stub of the real internal/pathmodel surface mustcheck watches.
+package pathmodel
+
+// Model is the bound path model stub.
+type Model struct{}
+
+// Structure is the cached Algorithm 1 skeleton stub.
+type Structure struct{}
+
+// Bind mirrors the real availability rebind.
+func (s *Structure) Bind(avails []func(int) float64) (*Model, error) {
+	_ = avails
+	return &Model{}, nil
+}

@@ -1,0 +1,43 @@
+package m
+
+import (
+	"wirelesshart/internal/dtmc"
+	"wirelesshart/internal/pathmodel"
+)
+
+func bad() {
+	c := dtmc.New()
+	c.Validate(1e-9)           // want `result of Validate discarded; it must be checked`
+	c.AddTransition(0, 1, 0.5) // want `result of AddTransition discarded; it must be checked`
+	c.Compile()                // want `result of Compile discarded; it must be checked`
+
+	k := dtmc.New().Compile()
+	k.Rebind(nil, 1e-9)        // want `result of Rebind discarded; it must be checked`
+	_, _ = k.Rebind(nil, 1e-9) // want `error result of Rebind assigned to blank identifier`
+
+	var st pathmodel.Structure
+	mdl, _ := st.Bind(nil) // want `error result of Bind assigned to blank identifier`
+	_ = mdl
+
+	go c.Validate(1e-9)    // want `result of Validate discarded by go statement`
+	defer c.Validate(1e-9) // want `result of Validate discarded by defer statement`
+}
+
+func good() error {
+	c := dtmc.New()
+	if err := c.AddTransition(0, 1, 0.5); err != nil {
+		return err
+	}
+	if err := c.Validate(1e-9); err != nil {
+		return err
+	}
+	k, err := c.Compile().Rebind(nil, 1e-9)
+	if err != nil {
+		return err
+	}
+	_ = k
+	var st pathmodel.Structure
+	mdl, err := st.Bind(nil)
+	_ = mdl
+	return err
+}

@@ -1,0 +1,12 @@
+package probfloat_test
+
+import (
+	"testing"
+
+	"wirelesshart/tools/lint/analysis/analysistest"
+	"wirelesshart/tools/lint/probfloat"
+)
+
+func TestProbfloat(t *testing.T) {
+	analysistest.Run(t, "testdata/src/whart", probfloat.Analyzer, "./...")
+}

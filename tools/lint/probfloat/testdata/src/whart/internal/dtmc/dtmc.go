@@ -1,0 +1,14 @@
+// Stub of the real internal/dtmc surface probfloat watches.
+package dtmc
+
+// Chain is the DTMC builder stub.
+type Chain struct{}
+
+// New returns an empty chain.
+func New() *Chain { return &Chain{} }
+
+// AddTransition mirrors the real edge-probability parameter p.
+func (c *Chain) AddTransition(from, to int, p float64) error {
+	_, _, _ = from, to, p
+	return nil
+}

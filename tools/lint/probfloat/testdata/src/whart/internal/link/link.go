@@ -1,0 +1,28 @@
+// Stub of the real internal/link surface probfloat watches; the analyzer
+// matches by types.Func.FullName, so the module path and signatures must
+// mirror the real package.
+package link
+
+// Availability mirrors the real package's per-slot up-probability.
+type Availability func(int) float64
+
+// Model is the two-state link model stub.
+type Model struct{}
+
+// New mirrors link.New(pfl, prc).
+func New(pfl, prc float64) (Model, error) {
+	_, _ = pfl, prc
+	return Model{}, nil
+}
+
+// GeometricDownCycles mirrors the real stay-probability parameter.
+func (m Model) GeometricDownCycles(stay float64, cycleSlots, maxCycles int, base Availability) (Availability, error) {
+	_, _, _ = stay, cycleSlots, maxCycles
+	return base, nil
+}
+
+// TransientUp mirrors the real u0 parameter.
+func (m Model) TransientUp(u0 float64, t int) float64 {
+	_ = t
+	return u0
+}
