@@ -4,7 +4,7 @@ GO ?= go
 COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core ./internal/obs
 COVER_MIN  = 85
 
-.PHONY: all build test race vet lint bench cover clean
+.PHONY: all build test race vet lint bench cover fleet-smoke clean
 
 all: build vet test
 
@@ -39,6 +39,17 @@ lint: vet
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# CI fleet smoke: sweep a 50-network population twice with a fixed seed
+# and require byte-identical reports — the end-to-end determinism check
+# behind the fleet subsystem (DESIGN.md §12).
+fleet-smoke:
+	@a=$$(mktemp) b=$$(mktemp); \
+	trap 'rm -f "$$a" "$$b"' EXIT; \
+	$(GO) run ./cmd/whart-fleet -seed 1 -n 50 -pernet -o "$$a" || exit 1; \
+	$(GO) run ./cmd/whart-fleet -seed 1 -n 50 -pernet -o "$$b" || exit 1; \
+	cmp "$$a" "$$b" || { echo "fleet sweep not byte-deterministic"; exit 1; }; \
+	echo "fleet smoke: 50-network sweep deterministic"
 
 # The profile lives in a temp file so `make cover` never dirties the tree.
 cover:

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+var fastArgs = []string{"-seed", "5", "-n", "6", "-nodes", "8-12"}
+
+// TestRunDeterministic pins that two CLI invocations with the same seed
+// produce byte-identical reports.
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(append(fastArgs, "-pernet"), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(fastArgs, "-pernet"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical invocations produced different reports")
+	}
+}
+
+// TestRunSeedEcho checks the JSON report echoes seed and population.
+func TestRunSeedEcho(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Seed       uint64 `json:"seed"`
+		Population int    `json:"population"`
+		Aggregate  struct {
+			Evaluated int `json:"evaluated"`
+			Failed    int `json:"failed"`
+		} `json:"aggregate"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 5 || rep.Population != 6 {
+		t.Fatalf("seed=%d population=%d, want 5/6", rep.Seed, rep.Population)
+	}
+	if rep.Aggregate.Evaluated != 6 || rep.Aggregate.Failed != 0 {
+		t.Fatalf("evaluated=%d failed=%d, want 6/0", rep.Aggregate.Evaluated, rep.Aggregate.Failed)
+	}
+}
+
+// TestRunCSV checks the csv format echoes the seed in its comment header.
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(append(fastArgs, "-format", "csv"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# whart-fleet seed=5 population=6\n") {
+		t.Fatalf("csv seed echo missing:\n%s", buf.String()[:80])
+	}
+	if !strings.Contains(buf.String(), "index,nodes,links,") {
+		t.Error("csv header missing")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-nodes", "abc"},
+		{"-avail", "x-y"},
+		{"-format", "xml"},
+		{"-n", "0"},
+		{"-depth", "9"},
+		{"stray-arg"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunOutputFile checks -o writes the report to the named file.
+func TestRunOutputFile(t *testing.T) {
+	path := t.TempDir() + "/fleet.json"
+	var buf bytes.Buffer
+	if err := run(append(fastArgs, "-o", path), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("stdout written despite -o")
+	}
+	var direct bytes.Buffer
+	if err := run(fastArgs, &direct); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, direct.Bytes()) {
+		t.Error("-o file differs from stdout report")
+	}
+}

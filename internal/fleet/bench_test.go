@@ -1,0 +1,27 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"wirelesshart/internal/gen"
+)
+
+// BenchmarkFleetSweep measures a small end-to-end fleet sweep: generate,
+// schedule, solve and aggregate four networks per iteration. Later
+// iterations exercise the warm-cache path the fleet relies on.
+func BenchmarkFleetSweep(b *testing.B) {
+	p := gen.DefaultParams()
+	p.NodesMin = 10
+	p.NodesMax = 16
+	r, err := New(Config{Seed: 1, Population: 4, Params: p})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

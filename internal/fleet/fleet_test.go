@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"wirelesshart/internal/gen"
+)
+
+// testConfig is a small fast fleet used by the behavioural tests.
+func testConfig() Config {
+	p := gen.DefaultParams()
+	p.NodesMin = 8
+	p.NodesMax = 14
+	return Config{Seed: 3, Population: 8, Params: p}
+}
+
+func runFleet(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunDeterministic runs the same small fleet twice — through two
+// independent runners, and once more with a single worker — and requires
+// byte-identical reports: the worker pool must not leak scheduling
+// nondeterminism into the output.
+func TestRunDeterministic(t *testing.T) {
+	encode := func(rep *Report) string {
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf, true); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := encode(runFleet(t, testConfig()))
+	b := encode(runFleet(t, testConfig()))
+	if a != b {
+		t.Fatalf("two identical fleet runs differ:\n%s\n---\n%s", a, b)
+	}
+	serial := testConfig()
+	serial.Workers = 1
+	if c := encode(runFleet(t, serial)); c != a {
+		t.Fatalf("single-worker run differs from pooled run:\n%s\n---\n%s", c, a)
+	}
+}
+
+// TestGoldenAggregate pins the seed-1 100-network aggregate. The fleet
+// pipeline is pure floating-point arithmetic in a fixed order, so these
+// values are reproducible to the last bit; the tolerance only allows for
+// future ulp-level libm differences.
+func TestGoldenAggregate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden fleet sweep skipped in -short mode")
+	}
+	rep := runFleet(t, Config{Seed: 1, Population: 100, Params: gen.DefaultParams()})
+	a := rep.Aggregate
+	if a.Evaluated != 100 || a.Failed != 0 {
+		t.Fatalf("evaluated=%d failed=%d, want 100/0", a.Evaluated, a.Failed)
+	}
+	if a.Paths != 3067 {
+		t.Fatalf("paths=%d, want 3067", a.Paths)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"pathDelayMS.p10", a.PathDelayMS.P10, 281.0152269307998},
+		{"pathDelayMS.p50", a.PathDelayMS.P50, 463.318755175966},
+		{"pathDelayMS.p90", a.PathDelayMS.P90, 686.9353319176926},
+		{"reachability.p10", a.Reachability.P10, 0.9939958126858882},
+		{"reachability.p50", a.Reachability.P50, 0.9985125628499983},
+		{"reachability.p90", a.Reachability.P90, 0.9999315159545055},
+		{"overallDelayMS.p10", a.OverallDelayMS.P10, 320.10584445743655},
+		{"overallDelayMS.p50", a.OverallDelayMS.P50, 449.7234742254354},
+		{"overallDelayMS.p90", a.OverallDelayMS.P90, 626.1619612831194},
+		{"utilization.p10", a.Utilization.P10, 0.44647104537588733},
+		{"utilization.p50", a.Utilization.P50, 0.579463369092784},
+		{"utilization.p90", a.Utilization.P90, 0.6574616292547198},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-9*math.Abs(c.want) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestMetricsExposed checks that a sweep shows up in the engine's
+// Prometheus exposition under the whart_fleet_* names.
+func TestMetricsExposed(t *testing.T) {
+	cfg := testConfig()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.Engine().Registry().WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"whart_fleet_sweeps_total 1",
+		"whart_fleet_networks_total 8",
+		"whart_fleet_network_failures_total 0",
+		"whart_fleet_overall_delay_ms_count 8",
+		"whart_fleet_utilization_count 8",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestAggregateIsolatesFailures checks a failed network is excluded from
+// every band while still being counted.
+func TestAggregateIsolatesFailures(t *testing.T) {
+	nets := []NetworkResult{
+		{Index: 0, OverallMeanDelayMS: 100, Utilization: 0.5},
+		{Index: 1, Error: "generate: boom"},
+		{Index: 2, OverallMeanDelayMS: 300, Utilization: 0.7},
+	}
+	paths := [][]float64{{90, 110}, nil, {280, 320}}
+	reaches := [][]float64{{0.99, 0.98}, nil, {0.97, 0.96}}
+	agg := aggregate(nets, paths, reaches)
+	if agg.Evaluated != 2 || agg.Failed != 1 {
+		t.Fatalf("evaluated=%d failed=%d, want 2/1", agg.Evaluated, agg.Failed)
+	}
+	if agg.Paths != 4 {
+		t.Fatalf("paths=%d, want 4", agg.Paths)
+	}
+	if agg.OverallDelayMS.P50 != 200 {
+		t.Fatalf("overall p50 = %v, want 200 (median of 100 and 300)", agg.OverallDelayMS.P50)
+	}
+}
+
+// TestRunCancellation pins that a cancelled context aborts the sweep.
+func TestRunCancellation(t *testing.T) {
+	r, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Run(ctx); err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Population: 0, Params: gen.DefaultParams()}); err == nil {
+		t.Error("zero population accepted")
+	}
+	bad := gen.DefaultParams()
+	bad.Channels = 0
+	if _, err := New(Config{Population: 1, Params: bad}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestWriteCSV checks the seed echo, the header, one row per network and
+// the trailing band comments.
+func TestWriteCSV(t *testing.T) {
+	rep := runFleet(t, testConfig())
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "# whart-fleet seed=3 population=8" {
+		t.Errorf("seed echo missing, got %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "index,nodes,links,") {
+		t.Errorf("header missing, got %q", lines[1])
+	}
+	// 2 leading comments/header + 8 rows + 4 band comments.
+	if len(lines) != 2+8+4 {
+		t.Fatalf("got %d lines, want 14", len(lines))
+	}
+	for _, suffix := range []string{"pathDelayMS", "reachability", "overallDelayMS", "utilization"} {
+		if !strings.Contains(buf.String(), "# "+suffix+" p10=") {
+			t.Errorf("band comment for %s missing", suffix)
+		}
+	}
+}
+
+// TestWriteJSONPerNetwork checks the per-network list is gated on the
+// flag and the seed is always echoed.
+func TestWriteJSONPerNetwork(t *testing.T) {
+	rep := runFleet(t, testConfig())
+	var lean, full bytes.Buffer
+	if err := rep.WriteJSON(&lean, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&full, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(lean.String(), `"networks"`) {
+		t.Error("lean report includes per-network rows")
+	}
+	if !strings.Contains(full.String(), `"networks"`) {
+		t.Error("full report misses per-network rows")
+	}
+	for _, s := range []string{lean.String(), full.String()} {
+		if !strings.Contains(s, `"seed": 3`) {
+			t.Error("seed echo missing from JSON report")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package fleet
+
+import "wirelesshart/internal/obs"
+
+// overallDelayBuckets bound the per-network E[Gamma] histogram in ms:
+// generated 20-40 node networks land in the few-hundred-ms range, with
+// the +Inf bucket catching pathological fleets.
+var overallDelayBuckets = []float64{50, 100, 150, 200, 300, 400, 600, 800, 1200, 2000}
+
+// utilizationBuckets bound the per-network utilization histogram.
+var utilizationBuckets = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+
+// metrics are the fleet counters and histograms, registered on the
+// engine's obs registry so /metrics/prom exposes the sweep next to the
+// solves it drives. Registration is idempotent: several runners sharing
+// one engine share one set of series.
+type metrics struct {
+	sweeps         *obs.Counter
+	networks       *obs.Counter
+	failures       *obs.Counter
+	overallDelayMS *obs.Histogram
+	utilization    *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		sweeps:   reg.Counter("whart_fleet_sweeps_total", "Fleet sweeps run."),
+		networks: reg.Counter("whart_fleet_networks_total", "Generated networks evaluated, failures included."),
+		failures: reg.Counter("whart_fleet_network_failures_total", "Networks whose generation or evaluation failed."),
+		overallDelayMS: reg.Histogram("whart_fleet_overall_delay_ms",
+			"Per-network overall mean delay E[Gamma] in milliseconds.", overallDelayBuckets),
+		utilization: reg.Histogram("whart_fleet_utilization",
+			"Per-network exact utilization.", utilizationBuckets),
+	}
+}

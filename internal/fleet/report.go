@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"wirelesshart/internal/gen"
+)
+
+// Band is a cross-fleet percentile band.
+type Band struct {
+	P10 float64 `json:"p10"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+}
+
+// Aggregate holds the population-level measures of a fleet run.
+type Aggregate struct {
+	// Evaluated counts networks that generated and solved cleanly;
+	// Failed counts the rest (their errors live in the network list).
+	Evaluated int `json:"evaluated"`
+	Failed    int `json:"failed"`
+	// Paths is the number of uplink paths pooled across the fleet.
+	Paths int `json:"paths"`
+	// PathDelayMS bands E[tau] across every path of every network.
+	PathDelayMS Band `json:"pathDelayMS"`
+	// Reachability bands per-path reachability R across the fleet.
+	Reachability Band `json:"reachability"`
+	// OverallDelayMS bands the per-network overall mean delay E[Gamma].
+	OverallDelayMS Band `json:"overallDelayMS"`
+	// Utilization bands the per-network exact utilization (Eq. 11).
+	Utilization Band `json:"utilization"`
+}
+
+// NetworkResult is one network's contribution to the fleet report.
+type NetworkResult struct {
+	Index              int     `json:"index"`
+	Nodes              int     `json:"nodes,omitempty"`
+	Links              int     `json:"links,omitempty"`
+	Fup                int     `json:"fup,omitempty"`
+	MeanPathDelayMS    float64 `json:"meanPathDelayMS,omitempty"`
+	OverallMeanDelayMS float64 `json:"overallMeanDelayMS,omitempty"`
+	Utilization        float64 `json:"utilization,omitempty"`
+	MinReachability    float64 `json:"minReachability,omitempty"`
+	// Error isolates a per-network generation or evaluation failure;
+	// the network is excluded from the aggregate.
+	Error string `json:"error,omitempty"`
+}
+
+// Report is the outcome of one fleet run. With the seed, population and
+// params echoed, the report is self-reproducing: the same triple always
+// regenerates it byte for byte.
+type Report struct {
+	Seed       uint64          `json:"seed"`
+	Population int             `json:"population"`
+	Params     gen.Params      `json:"params"`
+	Aggregate  Aggregate       `json:"aggregate"`
+	Networks   []NetworkResult `json:"networks,omitempty"`
+}
+
+// WriteJSON renders the report as indented JSON. perNetwork includes the
+// per-network rows; without it only the seed echo and aggregate appear.
+func (r *Report) WriteJSON(w io.Writer, perNetwork bool) error {
+	out := *r
+	if !perNetwork {
+		out.Networks = nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// WriteCSV renders one row per network with the seed echoed in a leading
+// comment, followed by comment rows for the aggregate bands.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# whart-fleet seed=%d population=%d\n", r.Seed, r.Population); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w,
+		"index,nodes,links,fup,meanPathDelayMS,overallMeanDelayMS,utilization,minReachability,error\n"); err != nil {
+		return err
+	}
+	for _, n := range r.Networks {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%s,%s,%s,%s,%s\n",
+			n.Index, n.Nodes, n.Links, n.Fup,
+			ftoa(n.MeanPathDelayMS), ftoa(n.OverallMeanDelayMS),
+			ftoa(n.Utilization), ftoa(n.MinReachability), csvQuote(n.Error))
+		if err != nil {
+			return err
+		}
+	}
+	for _, row := range []struct {
+		name string
+		b    Band
+	}{
+		{"pathDelayMS", r.Aggregate.PathDelayMS},
+		{"reachability", r.Aggregate.Reachability},
+		{"overallDelayMS", r.Aggregate.OverallDelayMS},
+		{"utilization", r.Aggregate.Utilization},
+	} {
+		_, err := fmt.Fprintf(w, "# %s p10=%s p50=%s p90=%s\n",
+			row.name, ftoa(row.b.P10), ftoa(row.b.P50), ftoa(row.b.P90))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ftoa renders a float the shortest round-trippable way, matching the
+// JSON encoder so both formats stay byte-deterministic per seed.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// csvQuote quotes a field only when it needs it.
+func csvQuote(s string) string {
+	for _, c := range s {
+		if c == ',' || c == '"' || c == '\n' {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,31 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the q-quantile (q in [0,1]) of the sample by linear
+// interpolation between adjacent order statistics — the "type 7" estimate
+// of Hyndman & Fan, the default of R and NumPy. The sample is copied, not
+// mutated. An empty sample is an error.
+func Percentile(sample []float64, q float64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, errors.New("stats: percentile of empty sample")
+	}
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile level %v out of [0,1]", q)
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return s[lo] + (s[hi]-s[lo])*frac, nil
+}

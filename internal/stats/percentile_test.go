@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	sample := []float64{40, 10, 30, 20} // unsorted on purpose
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{1, 40},
+		{0.5, 25},
+		{0.25, 17.5},
+		{0.10, 13},
+		{0.90, 37},
+	}
+	for _, c := range cases {
+		got, err := Percentile(sample, c.q)
+		if err != nil {
+			t.Fatalf("Percentile(q=%v): %v", c.q, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if sample[0] != 40 || sample[3] != 20 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileSingleton(t *testing.T) {
+	for _, q := range []float64{0, 0.5, 1} {
+		got, err := Percentile([]float64{7}, q)
+		if err != nil || got != 7 {
+			t.Errorf("Percentile([7], %v) = %v, %v; want 7, nil", q, got, err)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 0.5); err == nil {
+		t.Error("empty sample accepted")
+	}
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := Percentile([]float64{1, 2}, q); err == nil {
+			t.Errorf("q=%v accepted", q)
+		}
+	}
+}

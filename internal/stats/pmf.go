@@ -53,11 +53,15 @@ func (m *PMF) Support() []float64 {
 	return out
 }
 
-// Total returns the total probability mass.
+// Total returns the total probability mass. Like every PMF reduction, it
+// accumulates in ascending support order: float addition is not
+// associative, so summing in map-iteration order would make results
+// differ between runs at the ulp level — visible wherever outputs must be
+// byte-identical per seed (the fleet reports).
 func (m *PMF) Total() float64 {
 	var s float64
-	for _, p := range m.points {
-		s += p
+	for _, x := range m.Support() {
+		s += m.points[x]
 	}
 	return s
 }
@@ -67,8 +71,8 @@ func (m *PMF) Total() float64 {
 // renormalizing.
 func (m *PMF) Mean() float64 {
 	var s float64
-	for x, p := range m.points {
-		s += x * p
+	for _, x := range m.Support() {
+		s += x * m.points[x]
 	}
 	return s
 }
@@ -79,9 +83,9 @@ func (m *PMF) Mean() float64 {
 func (m *PMF) Variance() float64 {
 	mean := m.Mean()
 	var s float64
-	for x, p := range m.points {
+	for _, x := range m.Support() {
 		d := x - mean
-		s += d * d * p
+		s += d * d * m.points[x]
 	}
 	return s
 }
@@ -128,12 +132,13 @@ func (m *PMF) Merge(other *PMF) {
 	}
 }
 
-// CDFAt returns the cumulative probability P[X <= x].
+// CDFAt returns the cumulative probability P[X <= x], accumulating in
+// support order for run-to-run bit stability.
 func (m *PMF) CDFAt(x float64) float64 {
 	var s float64
-	for pt, p := range m.points {
+	for _, pt := range m.Support() {
 		if pt <= x {
-			s += p
+			s += m.points[pt]
 		}
 	}
 	return s

@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildOrderNet builds a small network interleaving gateway and device
+// insertions so the order-pinning tests see a non-trivial id layout.
+func buildOrderNet(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	a, err := n.AddNode("a", FieldDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := n.AddNode("gw", Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddNode("b", FieldDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.AddNode("c", FieldDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]NodeID{{a, gw}, {b, gw}, {c, a}} {
+		if _, err := n.AddLink(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+// TestNodesOrderPinned pins that Nodes returns ascending insertion ids —
+// the iteration order the generator and fleet reports key on.
+func TestNodesOrderPinned(t *testing.T) {
+	n := buildOrderNet(t)
+	var ids []NodeID
+	for _, node := range n.Nodes() {
+		ids = append(ids, node.ID)
+	}
+	if want := []NodeID{0, 1, 2, 3}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("Nodes order %v, want %v", ids, want)
+	}
+}
+
+// TestLinksOrderPinned pins that Links returns ascending insertion ids.
+func TestLinksOrderPinned(t *testing.T) {
+	n := buildOrderNet(t)
+	var ids []LinkID
+	for _, l := range n.Links() {
+		ids = append(ids, l.ID)
+	}
+	if want := []LinkID{0, 1, 2}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("Links order %v, want %v", ids, want)
+	}
+}
+
+// TestFieldDevicesOrderPinned pins that FieldDevices skips the gateway
+// and keeps id order regardless of where the gateway was inserted.
+func TestFieldDevicesOrderPinned(t *testing.T) {
+	n := buildOrderNet(t)
+	if want := []NodeID{0, 2, 3}; !reflect.DeepEqual(n.FieldDevices(), want) {
+		t.Fatalf("FieldDevices = %v, want %v", n.FieldDevices(), want)
+	}
+}
+
+// TestSortedSourcesPinned pins that SortedSources orders route keys
+// ascending whatever order the map was populated in.
+func TestSortedSourcesPinned(t *testing.T) {
+	routes := map[NodeID]Path{7: {}, 2: {}, 5: {}, 1: {}}
+	if want := []NodeID{1, 2, 5, 7}; !reflect.DeepEqual(SortedSources(routes), want) {
+		t.Fatalf("SortedSources = %v, want %v", SortedSources(routes), want)
+	}
+	if got := SortedSources(nil); len(got) != 0 {
+		t.Fatalf("SortedSources(nil) = %v, want empty", got)
+	}
+}

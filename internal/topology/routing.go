@@ -171,6 +171,19 @@ func PathsSharedByLink(routes map[NodeID]Path, id LinkID) []NodeID {
 	return out
 }
 
+// SortedSources returns the route map's source ids sorted ascending — the
+// canonical iteration order for anything derived from a routes map, so
+// map-order nondeterminism cannot leak into generated schedules or
+// scenario keys.
+func SortedSources(routes map[NodeID]Path) []NodeID {
+	out := make([]NodeID, 0, len(routes))
+	for src := range routes {
+		out = append(out, src)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
 func sortNodeIDs(ids []NodeID) {
 	for i := 1; i < len(ids); i++ {
 		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {

@@ -175,6 +175,19 @@ func (n *Network) Links() []Link {
 	return out
 }
 
+// FieldDevices returns the ids of all field-device nodes in append (id)
+// order — the deterministic source iteration the topology generator and
+// fleet aggregator key their output on.
+func (n *Network) FieldDevices() []NodeID {
+	var out []NodeID
+	for _, node := range n.nodes {
+		if node.Kind == FieldDevice {
+			out = append(out, node.ID)
+		}
+	}
+	return out
+}
+
 // LinkBetween returns the link joining a and b, if any.
 func (n *Network) LinkBetween(a, b NodeID) (Link, bool) {
 	id, ok := n.linkSet[linkKey(a, b)]

@@ -3,7 +3,7 @@
 //
 //	linalg/stats/channel/topology/obs/control
 //	  -> dtmc/schedule -> link -> pathmodel -> measures/analytic/des
-//	  -> core -> spec -> engine -> experiments
+//	  -> core -> spec/gen -> engine -> experiments/fleet
 //	  -> root facade -> cmd / examples
 //
 // and every internal package declares its direct first-party imports in
@@ -60,6 +60,14 @@ var allowedImports = map[string][]string{
 	"internal/spec": {"internal/channel", "internal/core", "internal/link", "internal/schedule", "internal/topology"},
 
 	"internal/engine": {"internal/core", "internal/link", "internal/measures", "internal/obs", "internal/pathmodel", "internal/spec"},
+
+	// The topology generator sits beside spec: it emits specs and realizes
+	// them, but never sees the engine — fleets own orchestration.
+	"internal/gen": {"internal/schedule", "internal/spec", "internal/topology"},
+
+	// Fleet evaluation drives generated populations through the engine. It
+	// may see core result types and the obs registry, but never cmd.
+	"internal/fleet": {"internal/core", "internal/engine", "internal/gen", "internal/obs", "internal/stats"},
 
 	"internal/experiments": {
 		"internal/channel", "internal/control", "internal/core", "internal/des",

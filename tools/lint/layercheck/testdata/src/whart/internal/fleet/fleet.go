@@ -1,0 +1,10 @@
+// fleet may drive gen populations through the engine and obs, but the
+// numerical leaves below pathmodel are not its business.
+package fleet
+
+import (
+	_ "wirelesshart/internal/engine"
+	_ "wirelesshart/internal/gen"
+	_ "wirelesshart/internal/linalg" // want `import of wirelesshart/internal/linalg: not a registered edge of the internal/fleet layer`
+	_ "wirelesshart/internal/obs"
+)

@@ -1,0 +1,10 @@
+// gen may emit specs via topology/schedule/spec, but must not reach the
+// engine: orchestration belongs to fleet.
+package gen
+
+import (
+	_ "wirelesshart/internal/engine" // want `import of wirelesshart/internal/engine: not a registered edge of the internal/gen layer`
+	_ "wirelesshart/internal/schedule"
+	_ "wirelesshart/internal/spec"
+	_ "wirelesshart/internal/topology"
+)

@@ -49,6 +49,7 @@ var probArgs = map[string][]int{
 	"wirelesshart/internal/stats.NegBinomialCycles":          {1},    // ps
 	"wirelesshart/internal/stats.NegBinomialReachability":    {1},    // ps
 	"(*wirelesshart/internal/stats.PMF).Quantile":            {0},    // level
+	"wirelesshart/internal/stats.Percentile":                 {1},    // q (quantile level)
 }
 
 func run(pass *analysis.Pass) error {

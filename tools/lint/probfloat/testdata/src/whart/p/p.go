@@ -3,6 +3,7 @@ package p
 import (
 	"wirelesshart/internal/dtmc"
 	"wirelesshart/internal/link"
+	"wirelesshart/internal/stats"
 )
 
 func equality(a, b float64, xs []float64) int {
@@ -53,4 +54,7 @@ func ranges() {
 
 	p := 1.5 // non-constant arguments are runtime validation's job
 	_, _ = link.New(p, 0.9)
+
+	_, _ = stats.Percentile(nil, 1.1) // want `probability argument 1.1 to Percentile is outside \[0,1\]`
+	_, _ = stats.Percentile(nil, 0.9) // in range
 }
