@@ -1,7 +1,10 @@
 // Command whart-server exposes the WirelessHART evaluation engine over
 // HTTP. It solves scenario specs posted to /v1/evaluate, /v1/network and
 // /v1/predict, caching solved scenarios in a bounded LRU and collapsing
-// concurrent identical queries into a single DTMC solve.
+// concurrent identical queries into a single DTMC solve. /v1/batch takes
+// a list of scenarios at once: duplicates and cached sub-scenarios are
+// served for free, and the residual misses are solved as one batched
+// CSR traversal per shared path structure.
 //
 // Usage:
 //

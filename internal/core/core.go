@@ -460,6 +460,13 @@ func (a *Analyzer) analyzePathWith(source topology.NodeID, availOf func(topology
 	if err != nil {
 		return nil, err
 	}
+	return a.pathAnalysisFrom(source, res)
+}
+
+// pathAnalysisFrom derives a path's measures from its solved DTMC result —
+// the measure half of AnalyzePath, shared by the scalar and batch solve
+// paths.
+func (a *Analyzer) pathAnalysisFrom(source topology.NodeID, res *pathmodel.Result) (*PathAnalysis, error) {
 	defer a.span("measures", "source", itoa(int(source)))()
 	pa := &PathAnalysis{
 		Source:            source,
@@ -470,6 +477,7 @@ func (a *Analyzer) analyzePathWith(source topology.NodeID, availOf func(topology
 		UtilizationClosed: measures.UtilizationClosedForm(res, false),
 	}
 	if pa.Reachability > 0 {
+		var err error
 		if pa.DelayDist, err = measures.DelayDistribution(res, a.fdown); err != nil {
 			return nil, err
 		}
@@ -504,27 +512,40 @@ func (a *Analyzer) Analyze() (*NetworkAnalysis, error) {
 func (a *Analyzer) analyzeWith(availOf func(topology.LinkID) link.Availability) (*NetworkAnalysis, error) {
 	sources := a.sources
 	out := &NetworkAnalysis{}
-	var results []*pathmodel.Result
 	for _, src := range sources {
 		pa, err := a.analyzePathWith(src, availOf)
 		if err != nil {
 			return nil, fmt.Errorf("core: path from %d: %w", src, err)
 		}
 		out.Paths = append(out.Paths, pa)
-		results = append(results, pa.Result)
 		out.UtilizationExact += pa.UtilizationExact
 		out.UtilizationClosed += pa.UtilizationClosed
 	}
-	defer a.span("measures", "scope", "network")()
-	var err error
-	if out.OverallDelay, err = measures.OverallDelay(results, a.fdown); err != nil {
-		return nil, err
-	}
-	out.OverallMeanDelayMS, err = measures.OverallMeanDelayMS(results, a.fdown)
-	if err != nil && !errors.Is(err, measures.ErrNoDelivery) {
+	if err := a.finishNetworkAnalysis(out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// finishNetworkAnalysis derives the network-scope measures (overall delay
+// distribution and mean) from an analysis' per-path results — the
+// aggregation tail of Analyze, shared by the scalar and batch solve paths.
+// Per-path utilizations are accumulated by the callers as paths arrive.
+func (a *Analyzer) finishNetworkAnalysis(out *NetworkAnalysis) error {
+	defer a.span("measures", "scope", "network")()
+	results := make([]*pathmodel.Result, len(out.Paths))
+	for i, pa := range out.Paths {
+		results[i] = pa.Result
+	}
+	var err error
+	if out.OverallDelay, err = measures.OverallDelay(results, a.fdown); err != nil {
+		return err
+	}
+	out.OverallMeanDelayMS, err = measures.OverallMeanDelayMS(results, a.fdown)
+	if err != nil && !errors.Is(err, measures.ErrNoDelivery) {
+		return err
+	}
+	return nil
 }
 
 // PredictComposition predicts the performance of attaching a new node via

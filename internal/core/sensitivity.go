@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"wirelesshart/internal/link"
+	"wirelesshart/internal/pathmodel"
 	"wirelesshart/internal/topology"
 )
 
@@ -35,11 +36,12 @@ type LinkSensitivity struct {
 // resulting mean-reachability gain (worst-path gain is reported
 // alongside). A link's availability override (failure injection) keeps
 // masking the perturbation, matching the analyzer's normal resolution
-// order. The sweep is side-effect-free: each perturbation is a value
-// rebind through a per-call availability resolver, so the analyzer's
-// configured models and overrides are never touched and every perturbed
-// analysis reuses the cached path structures instead of re-running
-// Algorithm 1.
+// order. The sweep is side-effect-free and batched: a perturbation only
+// changes the paths that traverse the perturbed link, so per source the
+// affected perturbations are bound onto the cached path structure and
+// solved in one lock-step pathmodel.SolveBatch pass, while every
+// unaffected (off-path or override-masked) combination reuses the baseline
+// solution — which is exactly what re-solving it would reproduce.
 func (a *Analyzer) SensitivityAnalysis(delta float64) ([]LinkSensitivity, error) {
 	if delta <= 0 || delta >= 1 {
 		return nil, fmt.Errorf("core: sensitivity delta %v out of (0,1)", delta)
@@ -51,8 +53,15 @@ func (a *Analyzer) SensitivityAnalysis(delta float64) ([]LinkSensitivity, error)
 	baseWorst := worstReach(base)
 	baseMean := meanReach(base)
 
-	var out []LinkSensitivity
-	for _, l := range a.net.Links() {
+	// Perturbed steady-state availability per link; nil for links whose
+	// configured override (failure injection) masks the perturbation, which
+	// therefore cannot change any path.
+	links := a.net.Links()
+	perturbed := make([]link.Availability, len(links))
+	for i, l := range links {
+		if _, masked := a.overrides[l.ID]; masked {
+			continue
+		}
 		m := a.LinkModel(l.ID)
 		improvedAvail := m.SteadyUp() + delta
 		if improvedAvail > 1 {
@@ -62,31 +71,86 @@ func (a *Analyzer) SensitivityAnalysis(delta float64) ([]LinkSensitivity, error)
 		if err != nil {
 			return nil, err
 		}
-		steady := improved.Steady()
-		target := l.ID
-		na, err := a.analyzeWith(func(id topology.LinkID) link.Availability {
-			if id == target {
-				if av, ok := a.overrides[id]; ok {
-					return av // injections mask the perturbation
-				}
-				return steady
+		perturbed[i] = improved.Steady()
+	}
+
+	// reach[i][s]: source s's reachability under link i's perturbation,
+	// seeded with the baseline (correct for every unaffected combination).
+	reach := make([][]float64, len(links))
+	for i := range reach {
+		reach[i] = make([]float64, len(a.sources))
+		for s := range a.sources {
+			reach[i][s] = base.Paths[s].Reachability
+		}
+	}
+	for s, src := range a.sources {
+		p := a.routes[src]
+		var affected []int
+		for i, l := range links {
+			if perturbed[i] != nil && p.UsesLink(l.ID) {
+				affected = append(affected, i)
 			}
-			return a.availability(id)
-		})
+		}
+		if len(affected) == 0 {
+			continue
+		}
+		slots := a.sched.SlotsForSource(src)
+		st, err := a.structureFor(slots, a.ttl)
 		if err != nil {
 			return nil, err
 		}
+		scenarios := make([][]link.Availability, len(affected))
+		for k, i := range affected {
+			target := links[i].ID
+			avails := make([]link.Availability, p.Hops())
+			for h, lid := range p.Links() {
+				if lid == target {
+					avails[h] = perturbed[i]
+				} else {
+					avails[h] = a.availability(lid)
+				}
+			}
+			scenarios[k] = avails
+		}
+		models, err := st.BindBatch(scenarios)
+		if err != nil {
+			return nil, fmt.Errorf("core: sensitivity of path from %d: %w", src, err)
+		}
+		endSolve := a.span("solve", "source", itoa(int(src)), "batch", itoa(len(models)))
+		results, err := pathmodel.SolveBatch(models)
+		endSolve()
+		if err != nil {
+			return nil, fmt.Errorf("core: sensitivity of path from %d: %w", src, err)
+		}
+		for k, i := range affected {
+			reach[i][s] = results[k].Reachability()
+		}
+	}
+
+	out := make([]LinkSensitivity, 0, len(links))
+	for i, l := range links {
 		shared := 0
 		for _, p := range a.routes {
 			if p.UsesLink(l.ID) {
 				shared++
 			}
 		}
+		worst, sum := 1.0, 0.0
+		for _, r := range reach[i] {
+			if r < worst {
+				worst = r
+			}
+			sum += r
+		}
+		mean := 0.0
+		if len(reach[i]) > 0 {
+			mean = sum / float64(len(reach[i]))
+		}
 		out = append(out, LinkSensitivity{
 			Link:      l,
 			SharedBy:  shared,
-			MeanGain:  meanReach(na) - baseMean,
-			WorstGain: worstReach(na) - baseWorst,
+			MeanGain:  mean - baseMean,
+			WorstGain: worst - baseWorst,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

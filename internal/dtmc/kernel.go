@@ -190,13 +190,17 @@ func (k *Kernel) refresh(t int) error {
 
 // StepInto advances the distribution one slot in place: dst = src P(t).
 // dst and src must be distinct vectors of the chain's state count; dst is
-// overwritten.
+// overwritten. Aliased dst/src would silently scatter already-propagated
+// mass again, so aliasing is detected and rejected.
 func (k *Kernel) StepInto(dst, src linalg.Vector, t int) error {
 	if len(src) != k.n {
 		return fmt.Errorf("dtmc: distribution length %d, want %d", len(src), k.n)
 	}
 	if len(dst) != k.n {
 		return fmt.Errorf("dtmc: step destination length %d, want %d", len(dst), k.n)
+	}
+	if k.n > 0 && &dst[0] == &src[0] {
+		return fmt.Errorf("dtmc: step destination aliases the source distribution")
 	}
 	if err := k.refresh(t); err != nil {
 		return err

@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"wirelesshart/internal/core"
+	"wirelesshart/internal/obs"
+	"wirelesshart/internal/pathmodel"
+	"wirelesshart/internal/spec"
+)
+
+// batchItem tracks one sub-scenario of a batch evaluation through dedup,
+// cache lookup, single-flight and the batched solve.
+type batchItem struct {
+	spec  *spec.Spec
+	key   string
+	dupOf int   // index of the earlier identical sub-scenario, or -1
+	join  *call // another goroutine's in-flight solve to wait on
+	owned *call // the single-flight entry this batch registered and must resolve
+
+	res *Result
+	err error
+}
+
+// EvaluateBatch solves K scenarios in one call, sharing work at every
+// tier. Each sub-scenario is canonicalized to its cache key; duplicates
+// within the request collapse onto one slot, cached results are returned
+// directly, sub-scenarios already being solved elsewhere are joined
+// single-flight, and only the residual misses are solved — together, under
+// one worker token, with their per-source path models grouped by shared
+// structure and advanced through each frozen CSR pattern in lock-step.
+//
+// Results are indexed like specs and shared (treat them as read-only). The
+// call fails as a whole — with the first failing sub-scenario identified —
+// but sub-scenarios that did solve are still cached and handed to
+// single-flight followers, so partial work is never thrown away.
+func (e *Engine) EvaluateBatch(ctx context.Context, specs []*spec.Spec) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadScenario)
+	}
+	e.metrics.batchRequests.Add(1)
+	e.metrics.batchScenarios.Add(int64(len(specs)))
+	e.metrics.batchSize.Observe(float64(len(specs)))
+
+	items := make([]*batchItem, len(specs))
+	first := map[string]int{}
+	for i, s := range specs {
+		if s == nil {
+			e.metrics.errors.Add(1)
+			return nil, fmt.Errorf("%w: scenario %d is null", ErrBadScenario, i)
+		}
+		key, err := Key(s)
+		if err != nil {
+			e.metrics.errors.Add(1)
+			return nil, fmt.Errorf("%w: scenario %d: %v", ErrBadScenario, i, err)
+		}
+		it := &batchItem{spec: s, key: key, dupOf: -1}
+		if j, ok := first[key]; ok {
+			it.dupOf = j
+			e.metrics.batchDeduped.Add(1)
+		} else {
+			first[key] = i
+		}
+		items[i] = it
+	}
+
+	// One atomic pass over the shared state: serve unique sub-scenarios
+	// from the cache, join in-flight solves, and register the residual
+	// misses as our own single-flight entries.
+	var owned []*batchItem
+	e.mu.Lock()
+	for _, it := range items {
+		if it.dupOf >= 0 {
+			continue
+		}
+		if v, ok := e.cache.get(it.key); ok {
+			it.res = v.(*Result)
+			e.metrics.cacheHits.Add(1)
+			continue
+		}
+		if c, ok := e.inflight[it.key]; ok {
+			it.join = c
+			e.metrics.deduped.Add(1)
+			continue
+		}
+		c := &call{done: make(chan struct{})}
+		e.inflight[it.key] = c
+		it.owned = c
+		owned = append(owned, it)
+	}
+	e.mu.Unlock()
+	for range owned {
+		e.metrics.cacheMisses.Add(1)
+	}
+
+	if len(owned) > 0 {
+		e.solveOwnedBatch(ctx, owned)
+	}
+	for _, it := range items {
+		if it.join == nil {
+			continue
+		}
+		select {
+		case <-it.join.done:
+			it.res, it.err = it.join.res, it.join.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	out := make([]*Result, len(items))
+	var firstErr error
+	for i, it := range items {
+		if it.dupOf >= 0 {
+			it.res, it.err = items[it.dupOf].res, items[it.dupOf].err
+		}
+		if it.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: batch scenario %d: %w", i, it.err)
+		}
+		out[i] = it.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// solveOwnedBatch solves the batch's residual misses under one worker
+// token: every miss is built through the shared kernel/structure caches,
+// all their per-source path models are grouped by shared structure in
+// first-occurrence order, each group is solved in one lock-step
+// pathmodel.SolveBatch pass, and each miss's network analysis is assembled
+// from its scattered results. Per-item outcomes land on the items; the
+// single-flight entries are always resolved, success or not.
+func (e *Engine) solveOwnedBatch(ctx context.Context, owned []*batchItem) {
+	defer func() {
+		e.mu.Lock()
+		for _, it := range owned {
+			delete(e.inflight, it.key)
+			if it.err == nil && it.res != nil {
+				e.cache.add(it.key, it.res)
+			}
+		}
+		e.mu.Unlock()
+		for _, it := range owned {
+			it.owned.res, it.owned.err = it.res, it.err
+			close(it.owned.done)
+		}
+	}()
+
+	tr := e.traces.StartTrace("batch", "size", strconv.Itoa(len(owned)))
+	var trErr error
+	defer func() { tr.End(trErr) }()
+	ctx = obs.ContextWithTrace(ctx, tr)
+
+	endQueue := obs.StartSpan(ctx, "queue")
+	if err := ctx.Err(); err != nil {
+		// Don't let a free worker token race an already-dead context.
+		endQueue("canceled", "true")
+		trErr = err
+		for _, it := range owned {
+			it.err = err
+		}
+		return
+	}
+	select {
+	case e.sem <- struct{}{}:
+		endQueue()
+	case <-ctx.Done():
+		endQueue("canceled", "true")
+		trErr = ctx.Err()
+		for _, it := range owned {
+			it.err = ctx.Err()
+		}
+		return
+	}
+	defer func() { <-e.sem }()
+	e.metrics.inFlight.Add(1)
+	defer e.metrics.inFlight.Add(-1)
+
+	start := time.Now()
+	type buildState struct {
+		built   *spec.Built
+		sms     []core.SourceModel
+		results []*pathmodel.Result
+	}
+	builds := make([]buildState, len(owned))
+	endBuild := obs.StartSpan(ctx, "build")
+	for i, it := range owned {
+		built, err := it.spec.BuildWith(core.WithPathModelCache(kernels{e}), core.WithStructureCache(kernels{e}),
+			core.WithTracer(tr))
+		if err != nil {
+			it.err = fmt.Errorf("%w: %v", ErrBadScenario, err)
+			e.metrics.errors.Add(1)
+			continue
+		}
+		sms, err := built.Analyzer.PathModels()
+		if err != nil {
+			it.err = fmt.Errorf("engine: batch solve: %w", err)
+			e.metrics.errors.Add(1)
+			continue
+		}
+		builds[i] = buildState{built: built, sms: sms, results: make([]*pathmodel.Result, len(sms))}
+	}
+	endBuild()
+
+	// Group every miss's path models by shared structure. Iterating misses
+	// and their sources in order keeps the grouping — and therefore every
+	// floating-point reduction downstream — deterministic.
+	type ref struct{ item, path int }
+	var order []*pathmodel.Structure
+	groups := map[*pathmodel.Structure][]ref{}
+	for i := range builds {
+		if owned[i].err != nil {
+			continue
+		}
+		for p, sm := range builds[i].sms {
+			st := sm.Model.Structure()
+			if _, ok := groups[st]; !ok {
+				order = append(order, st)
+			}
+			groups[st] = append(groups[st], ref{item: i, path: p})
+		}
+	}
+	endSolve := obs.StartSpan(ctx, "analyze", "groups", strconv.Itoa(len(order)))
+	for _, st := range order {
+		refs := groups[st]
+		models := make([]*pathmodel.Model, len(refs))
+		for k, r := range refs {
+			models[k] = builds[r.item].sms[r.path].Model
+		}
+		batch, err := pathmodel.SolveBatch(models)
+		if err != nil {
+			// A failed group takes down every sub-scenario with a path in
+			// it; the error names the solve, not a scenario index, because
+			// the failure is a property of the shared pass.
+			for _, r := range refs {
+				if owned[r.item].err == nil {
+					owned[r.item].err = fmt.Errorf("engine: batch solve: %w", err)
+					e.metrics.errors.Add(1)
+				}
+			}
+			continue
+		}
+		for k, r := range refs {
+			builds[r.item].results[r.path] = batch[k]
+		}
+	}
+	endSolve()
+
+	solved := 0
+	for i, it := range owned {
+		if it.err != nil {
+			continue
+		}
+		na, err := builds[i].built.Analyzer.AssembleAnalysis(builds[i].results)
+		if err != nil {
+			it.err = fmt.Errorf("engine: batch solve: %w", err)
+			e.metrics.errors.Add(1)
+			continue
+		}
+		res, err := assembleResult(it.key, builds[i].built, na)
+		if err != nil {
+			it.err = fmt.Errorf("engine: batch solve: %w", err)
+			e.metrics.errors.Add(1)
+			continue
+		}
+		it.res = res
+		solved++
+		e.metrics.solves.Add(1)
+	}
+	if solved > 0 {
+		e.metrics.batchSolved.Add(int64(solved))
+		per := time.Since(start) / time.Duration(solved)
+		for i := 0; i < solved; i++ {
+			e.metrics.batchSubSeconds.Observe(per.Seconds())
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"wirelesshart/internal/spec"
+)
+
+// TestEvaluateBatchMatchesScalar pins the batched endpoint against
+// per-scenario Evaluate calls on a fresh engine: a mix of the typical
+// scenario and failure-injection windows must produce identical results in
+// request order.
+func TestEvaluateBatchMatchesScalar(t *testing.T) {
+	specs := []*spec.Spec{
+		spec.TypicalSpec(),
+		failureSpec(t, 0, 20),
+		failureSpec(t, 5, 25),
+		failureSpec(t, 10, 30),
+	}
+	batchEng := New(Config{})
+	got, err := batchEng.EvaluateBatch(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("%d results, want %d", len(got), len(specs))
+	}
+	scalarEng := New(Config{})
+	for i, s := range specs {
+		want, err := scalarEng.Evaluate(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := got[i]
+		if g.Key != want.Key {
+			t.Fatalf("scenario %d: key %s vs %s", i, g.Key[:12], want.Key[:12])
+		}
+		if !almostEqual(g.Utilization, want.Utilization, 1e-12) {
+			t.Errorf("scenario %d: utilization %v vs %v", i, g.Utilization, want.Utilization)
+		}
+		if !almostEqual(g.OverallMeanDelayMS, want.OverallMeanDelayMS, 1e-9) {
+			t.Errorf("scenario %d: E[Gamma] %v vs %v", i, g.OverallMeanDelayMS, want.OverallMeanDelayMS)
+		}
+		if len(g.Paths) != len(want.Paths) {
+			t.Fatalf("scenario %d: %d paths, want %d", i, len(g.Paths), len(want.Paths))
+		}
+		for j, wp := range want.Paths {
+			if g.Paths[j].Source != wp.Source {
+				t.Fatalf("scenario %d path %d: source %q vs %q", i, j, g.Paths[j].Source, wp.Source)
+			}
+			if !almostEqual(g.Paths[j].Reachability, wp.Reachability, 1e-12) {
+				t.Errorf("scenario %d %s: R %v vs %v", i, wp.Source, g.Paths[j].Reachability, wp.Reachability)
+			}
+		}
+	}
+}
+
+// TestEvaluateBatchDedupAndCache checks the sharing tiers: intra-request
+// duplicates collapse onto one solve and share the result pointer; a
+// second batch over the same scenarios is served entirely from the cache.
+func TestEvaluateBatchDedupAndCache(t *testing.T) {
+	eng := New(Config{})
+	ctx := context.Background()
+	specs := []*spec.Spec{
+		spec.TypicalSpec(),
+		failureSpec(t, 0, 20),
+		spec.TypicalSpec(),    // duplicate of 0
+		failureSpec(t, 0, 20), // duplicate of 1
+	}
+	got, err := eng.EvaluateBatch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != got[2] || got[1] != got[3] {
+		t.Error("intra-request duplicates did not share one result")
+	}
+	snap := eng.MetricsSnapshot()
+	if snap.BatchRequests != 1 || snap.BatchScenarios != 4 {
+		t.Errorf("batch counters: requests=%d scenarios=%d", snap.BatchRequests, snap.BatchScenarios)
+	}
+	if snap.BatchDeduped != 2 {
+		t.Errorf("batch deduped = %d, want 2", snap.BatchDeduped)
+	}
+	if snap.BatchSolved != 2 {
+		t.Errorf("batch solved = %d, want 2", snap.BatchSolved)
+	}
+	if math.Abs(snap.BatchDedupRatio-0.5) > 1e-12 {
+		t.Errorf("batch dedup ratio = %v, want 0.5", snap.BatchDedupRatio)
+	}
+	if snap.BatchSubSolveTime.Count != 2 || snap.BatchSubSolveTime.MeanMS <= 0 {
+		t.Errorf("per-sub-scenario solve time not recorded: %+v", snap.BatchSubSolveTime)
+	}
+
+	// Second round: all unique keys are cache hits, nothing solves.
+	again, err := eng.EvaluateBatch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != got[0] || again[1] != got[1] {
+		t.Error("second batch did not serve cached results")
+	}
+	snap = eng.MetricsSnapshot()
+	if snap.BatchSolved != 2 {
+		t.Errorf("cached batch re-solved: solved=%d", snap.BatchSolved)
+	}
+	if snap.BatchDedupRatio <= 0.5 {
+		t.Errorf("dedup ratio %v should rise with the fully cached round", snap.BatchDedupRatio)
+	}
+
+	// The scalar path shares the same cache.
+	scalar, err := eng.Evaluate(ctx, spec.TypicalSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar != got[0] {
+		t.Error("Evaluate did not hit the batch-populated cache")
+	}
+}
+
+func TestEvaluateBatchErrors(t *testing.T) {
+	eng := New(Config{})
+	ctx := context.Background()
+	if _, err := eng.EvaluateBatch(ctx, nil); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("empty batch: %v", err)
+	}
+	if _, err := eng.EvaluateBatch(ctx, []*spec.Spec{nil}); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("null scenario: %v", err)
+	}
+	bad := spec.TypicalSpec()
+	bad.Links[0].Failure = &spec.Failure{Kind: "flaky"}
+	_, err := eng.EvaluateBatch(ctx, []*spec.Spec{spec.TypicalSpec(), bad})
+	if !errors.Is(err, ErrBadScenario) {
+		t.Errorf("bad sub-scenario: %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "scenario 1") {
+		t.Errorf("error does not name the failing sub-scenario: %v", err)
+	}
+	// Canonicalization failures reject the batch before anything solves.
+	if snap := eng.MetricsSnapshot(); snap.BatchSolved != 0 {
+		t.Errorf("rejected batch still solved %d sub-scenarios", snap.BatchSolved)
+	}
+}
+
+func TestEvaluateBatchCanceledContext(t *testing.T) {
+	eng := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.EvaluateBatch(ctx, []*spec.Spec{spec.TypicalSpec()}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled batch: %v", err)
+	}
+}

@@ -339,6 +339,20 @@ func (e *Engine) solve(ctx context.Context, s *spec.Spec, key string, canonStart
 		e.metrics.errors.Add(1)
 		return nil, fmt.Errorf("engine: solve: %w", err)
 	}
+	out, err := assembleResult(key, built, na)
+	if err != nil {
+		e.metrics.errors.Add(1)
+		return nil, err
+	}
+	e.metrics.solves.Add(1)
+	e.metrics.observeLatency(time.Since(start))
+	return out, nil
+}
+
+// assembleResult converts one scenario's solved network analysis into the
+// engine's wire result — the tail of a solve, shared by the scalar path and
+// the batch endpoint.
+func assembleResult(key string, built *spec.Built, na *core.NetworkAnalysis) (*Result, error) {
 	out := &Result{
 		Key:                key,
 		Fup:                built.Schedule.Fup(),
@@ -381,8 +395,6 @@ func (e *Engine) solve(ctx context.Context, s *spec.Spec, key string, canonStart
 		out.Paths = append(out.Paths, pr)
 	}
 	sort.Slice(out.Paths, func(i, j int) bool { return out.Paths[i].Source < out.Paths[j].Source })
-	e.metrics.solves.Add(1)
-	e.metrics.observeLatency(time.Since(start))
 	return out, nil
 }
 

@@ -19,6 +19,7 @@ const maxRequestBytes = 1 << 20
 //
 //	POST /v1/evaluate  {"scenario": <spec>, "source": "n10"}   one path's measures
 //	POST /v1/network   {"scenario": <spec>}                    aggregate Gamma/U over all sources
+//	POST /v1/batch     {"scenarios": [<spec>, ...]}            many scenarios, one batched solve
 //	POST /v1/predict   {"scenario": <spec>, "candidates": [{"via": "n4", "ebN0": 7}, ...]}
 //	GET  /healthz                                              liveness
 //	GET  /metrics                                              engine counters and latency quantiles (JSON)
@@ -36,6 +37,7 @@ func NewHandler(e *Engine, timeout time.Duration) http.Handler {
 	mux.Handle("/debug/traces", e.Traces().Handler())
 	mux.HandleFunc("/v1/evaluate", s.evaluate)
 	mux.HandleFunc("/v1/network", s.network)
+	mux.HandleFunc("/v1/batch", s.batch)
 	mux.HandleFunc("/v1/predict", s.predict)
 	return mux
 }
@@ -201,6 +203,39 @@ func (s *apiServer) network(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+type batchRequest struct {
+	Scenarios []*spec.Spec `json:"scenarios"`
+}
+
+type batchResponse struct {
+	Results []*Result `json:"results"`
+}
+
+// batch evaluates many scenarios in one request: duplicates and cached
+// sub-scenarios are served without solving, the residual misses are solved
+// as one lock-step batch. Results come back in request order.
+func (s *apiServer) batch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req batchRequest
+	if !s.decodeInto(w, r, &req) {
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		writeErr(w, http.StatusBadRequest, "missing scenarios")
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	results, err := s.eng.EvaluateBatch(ctx, req.Scenarios)
+	if err != nil {
+		writeEngineErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
 }
 
 // predictCandidate accepts either a single-hop "ebN0" or a multi-hop

@@ -297,3 +297,43 @@ func TestRequestValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, eng := newTestAPI(t)
+	resp := postJSON(t, srv.URL+"/v1/batch", map[string]any{
+		"scenarios": []*spec.Spec{spec.TypicalSpec(), failureSpec(t, 0, 20), spec.TypicalSpec()},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var body batchResponse
+	decodeBody(t, resp, &body)
+	if len(body.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(body.Results))
+	}
+	if body.Results[0].Key != body.Results[2].Key {
+		t.Error("duplicate sub-scenarios returned different keys")
+	}
+	if body.Results[0].Key == body.Results[1].Key {
+		t.Error("distinct sub-scenarios returned the same key")
+	}
+	for i, r := range body.Results {
+		if r.Utilization <= 0 || len(r.Paths) == 0 {
+			t.Errorf("result %d looks empty: U=%v, %d paths", i, r.Utilization, len(r.Paths))
+		}
+	}
+	snap := eng.MetricsSnapshot()
+	if snap.BatchRequests != 1 || snap.BatchScenarios != 3 || snap.BatchDeduped != 1 || snap.BatchSolved != 2 {
+		t.Errorf("batch metrics: %+v", snap)
+	}
+
+	// Validation: an empty scenario list is the client's mistake.
+	resp = postJSON(t, srv.URL+"/v1/batch", map[string]any{"scenarios": []*spec.Spec{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	resp = postJSON(t, srv.URL+"/v1/batch", map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing scenarios: status %d, want 400", resp.StatusCode)
+	}
+}

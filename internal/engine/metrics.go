@@ -14,6 +14,10 @@ var solveLatencyBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5,
 }
 
+// batchSizeBuckets are the histogram upper bounds for sub-scenarios per
+// /v1/batch request.
+var batchSizeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250}
+
 // Metrics counts the engine's work on top of an obs.Registry, so the same
 // counters feed the legacy JSON snapshot and the Prometheus exposition at
 // /metrics/prom. All methods are safe for concurrent use; counters only
@@ -32,11 +36,18 @@ type Metrics struct {
 	structHits   *obs.Counter
 	structMisses *obs.Counter
 	solveSeconds *obs.Histogram
+
+	batchRequests   *obs.Counter
+	batchScenarios  *obs.Counter
+	batchDeduped    *obs.Counter
+	batchSolved     *obs.Counter
+	batchSize       *obs.Histogram
+	batchSubSeconds *obs.Histogram
 }
 
 func newMetrics() *Metrics {
 	reg := obs.NewRegistry()
-	return &Metrics{
+	m := &Metrics{
 		reg:          reg,
 		solves:       reg.Counter("whart_engine_solves_total", "Full scenario solves performed."),
 		cacheHits:    reg.Counter("whart_engine_cache_hits_total", "Evaluate calls served from the scenario cache."),
@@ -49,7 +60,29 @@ func newMetrics() *Metrics {
 		structHits:   reg.Counter("whart_engine_struct_cache_hits_total", "Path-structure lookups served from the structure cache."),
 		structMisses: reg.Counter("whart_engine_struct_cache_misses_total", "Path-structure lookups that ran Algorithm 1."),
 		solveSeconds: reg.Histogram("whart_engine_solve_duration_seconds", "End-to-end scenario solve latency.", solveLatencyBuckets),
+
+		batchRequests:  reg.Counter("whart_engine_batch_requests_total", "Batch evaluations received."),
+		batchScenarios: reg.Counter("whart_engine_batch_scenarios_total", "Sub-scenarios received across all batch evaluations."),
+		batchDeduped:   reg.Counter("whart_engine_batch_deduped_total", "Batch sub-scenarios that duplicated an earlier sub-scenario of the same request."),
+		batchSolved:    reg.Counter("whart_engine_batch_solved_total", "Batch sub-scenarios solved fresh (residual misses after dedup, cache and single-flight)."),
+		batchSize:      reg.Histogram("whart_engine_batch_size", "Sub-scenarios per batch evaluation.", batchSizeBuckets),
+		batchSubSeconds: reg.Histogram("whart_engine_batch_subscenario_duration_seconds",
+			"Per-sub-scenario solve latency within a batch (the batch's solve wall time amortized over its residual misses).", solveLatencyBuckets),
 	}
+	reg.GaugeFunc("whart_engine_batch_dedup_ratio",
+		"Cumulative fraction of batch sub-scenarios served without a fresh solve (request dedup, cache, or single-flight).",
+		func() float64 { return m.batchDedupRatio() })
+	return m
+}
+
+// batchDedupRatio is the cumulative fraction of batch sub-scenarios that
+// did not need a fresh solve; zero before any batch arrives.
+func (m *Metrics) batchDedupRatio() float64 {
+	total := m.batchScenarios.Value()
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(m.batchSolved.Value())/float64(total)
 }
 
 // Registry exposes the underlying metric registry — the source of the
@@ -121,6 +154,12 @@ type Snapshot struct {
 	CacheCap          int             `json:"cacheCap"`
 	Workers           int             `json:"workers"`
 	SolveTime         LatencySnapshot `json:"solveTime"`
+	BatchRequests     int64           `json:"batchRequests"`
+	BatchScenarios    int64           `json:"batchScenarios"`
+	BatchDeduped      int64           `json:"batchDeduped"`
+	BatchSolved       int64           `json:"batchSolved"`
+	BatchDedupRatio   float64         `json:"batchDedupRatio"`
+	BatchSubSolveTime LatencySnapshot `json:"batchSubSolveTime"`
 }
 
 func (m *Metrics) snapshot() Snapshot {
@@ -141,6 +180,17 @@ func (m *Metrics) snapshot() Snapshot {
 		s.SolveTime.MeanMS = m.solveSeconds.Sum() / float64(s.SolveTime.Count) * 1000
 		s.SolveTime.P50MS = m.solveSeconds.Quantile(0.5) * 1000
 		s.SolveTime.P99MS = m.solveSeconds.Quantile(0.99) * 1000
+	}
+	s.BatchRequests = m.batchRequests.Value()
+	s.BatchScenarios = m.batchScenarios.Value()
+	s.BatchDeduped = m.batchDeduped.Value()
+	s.BatchSolved = m.batchSolved.Value()
+	s.BatchDedupRatio = m.batchDedupRatio()
+	s.BatchSubSolveTime.Count = m.batchSubSeconds.Count()
+	if s.BatchSubSolveTime.Count > 0 {
+		s.BatchSubSolveTime.MeanMS = m.batchSubSeconds.Sum() / float64(s.BatchSubSolveTime.Count) * 1000
+		s.BatchSubSolveTime.P50MS = m.batchSubSeconds.Quantile(0.5) * 1000
+		s.BatchSubSolveTime.P99MS = m.batchSubSeconds.Quantile(0.99) * 1000
 	}
 	return s
 }

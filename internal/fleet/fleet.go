@@ -40,6 +40,10 @@ type Config struct {
 	// the runner creates one sized to the population so every scenario
 	// stays cacheable within the sweep.
 	Engine *engine.Engine
+	// FailureSweep optionally adds a per-network robustness sweep: each
+	// link is failed in turn with this window and all single-link
+	// scenarios are solved as one engine batch.
+	FailureSweep *FailureSweep
 }
 
 // Runner evaluates fleets. Create one with New; it is safe for repeated
@@ -59,6 +63,11 @@ func New(cfg Config) (*Runner, error) {
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.FailureSweep != nil {
+		if err := cfg.FailureSweep.validate(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -153,6 +162,13 @@ func (r *Runner) evalOne(ctx context.Context, i int) (NetworkResult, []float64, 
 	out.MinReachability = minReach
 	r.metrics.overallDelayMS.Observe(res.OverallMeanDelayMS)
 	r.metrics.utilization.Observe(res.Utilization)
+	if r.cfg.FailureSweep != nil {
+		if err := r.sweepFailures(ctx, g.Spec, &out); err != nil {
+			r.metrics.failures.Inc()
+			out.Error = "failsweep: " + err.Error()
+			return out, nil, nil
+		}
+	}
 	return out, delays, reaches
 }
 
@@ -162,7 +178,7 @@ func (r *Runner) evalOne(ctx context.Context, i int) (NetworkResult, []float64, 
 // every path of every successful network.
 func aggregate(nets []NetworkResult, paths, reaches [][]float64) Aggregate {
 	agg := Aggregate{}
-	var gammas, utils, pooledDelay, pooledReach []float64
+	var gammas, utils, pooledDelay, pooledReach, worstFail []float64
 	for i, n := range nets {
 		if n.Error != "" {
 			agg.Failed++
@@ -173,12 +189,19 @@ func aggregate(nets []NetworkResult, paths, reaches [][]float64) Aggregate {
 		utils = append(utils, n.Utilization)
 		pooledDelay = append(pooledDelay, paths[i]...)
 		pooledReach = append(pooledReach, reaches[i]...)
+		if n.FailureScenarios > 0 {
+			worstFail = append(worstFail, n.WorstFailureDelayMS)
+		}
 	}
 	agg.Paths = len(pooledDelay)
 	agg.PathDelayMS = band(pooledDelay)
 	agg.Reachability = band(pooledReach)
 	agg.OverallDelayMS = band(gammas)
 	agg.Utilization = band(utils)
+	if len(worstFail) > 0 {
+		b := band(worstFail)
+		agg.WorstFailureDelayMS = &b
+	}
 	return agg
 }
 

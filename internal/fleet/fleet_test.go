@@ -7,7 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"wirelesshart/internal/engine"
 	"wirelesshart/internal/gen"
+	"wirelesshart/internal/spec"
 )
 
 // testConfig is a small fast fleet used by the behavioural tests.
@@ -216,5 +218,87 @@ func TestWriteJSONPerNetwork(t *testing.T) {
 		if !strings.Contains(s, `"seed": 3`) {
 			t.Error("seed echo missing from JSON report")
 		}
+	}
+}
+
+// TestFailureSweep routes a small fleet through the batched single-link
+// failure sweep and checks the robustness measures against per-scenario
+// scalar evaluations of the same cloned specs.
+func TestFailureSweep(t *testing.T) {
+	cfg := testConfig()
+	cfg.Population = 3
+	cfg.FailureSweep = &FailureSweep{FromSlot: 0, ToSlot: 20}
+	rep := runFleet(t, cfg)
+	if rep.Aggregate.Failed != 0 {
+		t.Fatalf("%d networks failed", rep.Aggregate.Failed)
+	}
+	if rep.Aggregate.WorstFailureDelayMS == nil {
+		t.Fatal("aggregate worst-failure band missing")
+	}
+	for _, n := range rep.Networks {
+		if n.FailureScenarios != n.Links {
+			t.Errorf("network %d: %d failure scenarios, want one per link (%d)",
+				n.Index, n.FailureScenarios, n.Links)
+		}
+		if n.WorstFailureDelayMS < n.MeanFailureDelayMS {
+			t.Errorf("network %d: worst %v < mean %v", n.Index, n.WorstFailureDelayMS, n.MeanFailureDelayMS)
+		}
+		if n.WorstFailureMinReachability > n.MinReachability {
+			t.Errorf("network %d: failing a link raised min reachability %v -> %v",
+				n.Index, n.MinReachability, n.WorstFailureMinReachability)
+		}
+	}
+
+	// Pin the batched sweep of network 0 against scalar Evaluate calls.
+	g, err := gen.Generate(cfg.Seed, 0, cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{})
+	worst, sum := 0.0, 0.0
+	for i := range g.Spec.Links {
+		c := *g.Spec
+		c.Links = append([]spec.Link(nil), g.Spec.Links...)
+		c.Links[i].Failure = &spec.Failure{Kind: "window", FromSlot: 0, ToSlot: 20}
+		res, err := eng.Evaluate(context.Background(), &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OverallMeanDelayMS > worst {
+			worst = res.OverallMeanDelayMS
+		}
+		sum += res.OverallMeanDelayMS
+	}
+	n0 := rep.Networks[0]
+	if math.Abs(n0.WorstFailureDelayMS-worst) > 1e-9 {
+		t.Errorf("worst failure delay %v, scalar sweep says %v", n0.WorstFailureDelayMS, worst)
+	}
+	if math.Abs(n0.MeanFailureDelayMS-sum/float64(len(g.Spec.Links))) > 1e-9 {
+		t.Errorf("mean failure delay %v, scalar sweep says %v",
+			n0.MeanFailureDelayMS, sum/float64(len(g.Spec.Links)))
+	}
+
+	// The sweep must stay deterministic too.
+	var a, b bytes.Buffer
+	if err := rep.WriteJSON(&a, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFleet(t, cfg).WriteJSON(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("failure-sweep report is not deterministic")
+	}
+}
+
+func TestFailureSweepValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.FailureSweep = &FailureSweep{FromSlot: 10, ToSlot: 10}
+	if _, err := New(cfg); err == nil {
+		t.Error("empty failure window must be rejected")
+	}
+	cfg.FailureSweep = &FailureSweep{FromSlot: -1, ToSlot: 5}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative failure window must be rejected")
 	}
 }

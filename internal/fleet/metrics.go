@@ -15,11 +15,12 @@ var utilizationBuckets = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
 // solves it drives. Registration is idempotent: several runners sharing
 // one engine share one set of series.
 type metrics struct {
-	sweeps         *obs.Counter
-	networks       *obs.Counter
-	failures       *obs.Counter
-	overallDelayMS *obs.Histogram
-	utilization    *obs.Histogram
+	sweeps           *obs.Counter
+	networks         *obs.Counter
+	failures         *obs.Counter
+	failureScenarios *obs.Counter
+	overallDelayMS   *obs.Histogram
+	utilization      *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -27,6 +28,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		sweeps:   reg.Counter("whart_fleet_sweeps_total", "Fleet sweeps run."),
 		networks: reg.Counter("whart_fleet_networks_total", "Generated networks evaluated, failures included."),
 		failures: reg.Counter("whart_fleet_network_failures_total", "Networks whose generation or evaluation failed."),
+		failureScenarios: reg.Counter("whart_fleet_failure_scenarios_total",
+			"Single-link failure scenarios batch-solved across all failure sweeps."),
 		overallDelayMS: reg.Histogram("whart_fleet_overall_delay_ms",
 			"Per-network overall mean delay E[Gamma] in milliseconds.", overallDelayBuckets),
 		utilization: reg.Histogram("whart_fleet_utilization",

@@ -32,6 +32,10 @@ type Aggregate struct {
 	OverallDelayMS Band `json:"overallDelayMS"`
 	// Utilization bands the per-network exact utilization (Eq. 11).
 	Utilization Band `json:"utilization"`
+	// WorstFailureDelayMS bands each network's worst-case E[Gamma] under
+	// the single-link failure sweep; nil when no sweep was configured, so
+	// plain runs keep their byte-identical reports.
+	WorstFailureDelayMS *Band `json:"worstFailureDelayMS,omitempty"`
 }
 
 // NetworkResult is one network's contribution to the fleet report.
@@ -44,6 +48,13 @@ type NetworkResult struct {
 	OverallMeanDelayMS float64 `json:"overallMeanDelayMS,omitempty"`
 	Utilization        float64 `json:"utilization,omitempty"`
 	MinReachability    float64 `json:"minReachability,omitempty"`
+	// The failure-sweep measures are present only when Config.FailureSweep
+	// is set: the network was re-solved FailureScenarios times, once per
+	// single-link window failure, as one engine batch.
+	FailureScenarios            int     `json:"failureScenarios,omitempty"`
+	WorstFailureDelayMS         float64 `json:"worstFailureDelayMS,omitempty"`
+	MeanFailureDelayMS          float64 `json:"meanFailureDelayMS,omitempty"`
+	WorstFailureMinReachability float64 `json:"worstFailureMinReachability,omitempty"`
 	// Error isolates a per-network generation or evaluation failure;
 	// the network is excluded from the aggregate.
 	Error string `json:"error,omitempty"`
@@ -91,7 +102,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
-	for _, row := range []struct {
+	rows := []struct {
 		name string
 		b    Band
 	}{
@@ -99,7 +110,14 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		{"reachability", r.Aggregate.Reachability},
 		{"overallDelayMS", r.Aggregate.OverallDelayMS},
 		{"utilization", r.Aggregate.Utilization},
-	} {
+	}
+	if r.Aggregate.WorstFailureDelayMS != nil {
+		rows = append(rows, struct {
+			name string
+			b    Band
+		}{"worstFailureDelayMS", *r.Aggregate.WorstFailureDelayMS})
+	}
+	for _, row := range rows {
 		_, err := fmt.Fprintf(w, "# %s p10=%s p50=%s p90=%s\n",
 			row.name, ftoa(row.b.P10), ftoa(row.b.P50), ftoa(row.b.P90))
 		if err != nil {

@@ -1,6 +1,9 @@
 package linalg
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // CSR is a sparse matrix in compressed-sparse-row format: row i's nonzeros
 // occupy positions RowPtr[i]..RowPtr[i+1] of the column-index and value
@@ -81,15 +84,28 @@ func (m *CSR) WithValues(val []float64) (*CSR, error) {
 	return &CSR{rows: m.rows, cols: m.cols, rowPtr: m.rowPtr, col: m.col, val: val}, nil
 }
 
+// sameBacking reports whether two slices share a backing array start — the
+// aliasing a multiply-into must reject because it zeroes dst before reading
+// x. (Partial overlaps at different offsets of one array are not
+// detectable without unsafe; in this codebase vectors are always whole
+// allocations, so identical starts are the only aliasing that can occur.)
+func sameBacking(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
 // MulVecInto computes dst = x*M for a row vector x, overwriting dst. This
 // is the sparse form of the transient step p(t+1) = p(t) P(t): mass in
-// state i scatters along row i's edges. dst and x must not alias.
+// state i scatters along row i's edges. dst and x must not alias; aliased
+// arguments are rejected rather than silently corrupting the product.
 func (m *CSR) MulVecInto(dst, x Vector) error {
 	if len(x) != m.rows {
 		return fmt.Errorf("%w: CSR mulVec %d vs %d rows", ErrDimension, len(x), m.rows)
 	}
 	if len(dst) != m.cols {
 		return fmt.Errorf("%w: CSR mulVec dst %d vs %d cols", ErrDimension, len(dst), m.cols)
+	}
+	if sameBacking(dst, x) {
+		return errors.New("linalg: CSR mulVec dst aliases x")
 	}
 	for j := range dst {
 		dst[j] = 0
@@ -101,6 +117,187 @@ func (m *CSR) MulVecInto(dst, x Vector) error {
 		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 		for k := lo; k < hi; k++ {
 			dst[m.col[k]] += xi * m.val[k]
+		}
+	}
+	return nil
+}
+
+// SamePattern reports whether o shares m's frozen sparsity pattern — the
+// very same backing row-pointer and column-index arrays, as produced by
+// WithValues, not merely equal contents. Batched traversals require
+// pattern identity so one row-major pass is provably valid for every
+// scenario in the block.
+func (m *CSR) SamePattern(o *CSR) bool {
+	if m == o {
+		return true
+	}
+	return m.rows == o.rows && m.cols == o.cols &&
+		len(m.col) == len(o.col) &&
+		&m.rowPtr[0] == &o.rowPtr[0] &&
+		(len(m.col) == 0 || &m.col[0] == &o.col[0])
+}
+
+// EqualPattern reports whether o's sparsity pattern is element-wise equal
+// to m's: same shape, row pointers and column indices. SamePattern identity
+// is the fast path; otherwise the patterns are compared entry by entry, so
+// two independently compiled but structurally identical matrices (e.g. the
+// same chain skeleton built twice with different ProbFn edges) still
+// qualify for one shared batched traversal.
+func (m *CSR) EqualPattern(o *CSR) bool {
+	if m.SamePattern(o) {
+		return true
+	}
+	if m.rows != o.rows || m.cols != o.cols || len(m.col) != len(o.col) {
+		return false
+	}
+	for i, p := range m.rowPtr {
+		if o.rowPtr[i] != p {
+			return false
+		}
+	}
+	for i, c := range m.col {
+		if o.col[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// MulVecBatch computes K simultaneous products dst_j = x_j * M_j in one
+// row-major pass over the shared sparsity pattern, for K scenarios that
+// differ only in their values. The blocks pack the K vectors
+// scenario-fastest ("column-major" across scenarios): entry i*k+j is
+// scenario j's component of state i, so one row's K components are
+// contiguous and the inner loop over scenarios streams cache lines
+// instead of re-walking the pattern per scenario.
+//
+// vals packs one value per stored entry per scenario the same way
+// (vals[p*k+j] is scenario j's value at position p); a nil vals broadcasts
+// the matrix's own value array across every scenario. dst must not alias x
+// or vals. The pass allocates nothing.
+func (m *CSR) MulVecBatch(dst, x []float64, k int, vals []float64) error {
+	if k < 1 {
+		return fmt.Errorf("linalg: CSR batch width %d must be positive", k)
+	}
+	if len(x) != m.rows*k {
+		return fmt.Errorf("%w: CSR batch mulVec %d vs %d rows x %d scenarios", ErrDimension, len(x), m.rows, k)
+	}
+	if len(dst) != m.cols*k {
+		return fmt.Errorf("%w: CSR batch mulVec dst %d vs %d cols x %d scenarios", ErrDimension, len(dst), m.cols, k)
+	}
+	if vals != nil && len(vals) != len(m.val)*k {
+		return fmt.Errorf("%w: CSR batch values %d, want %d", ErrDimension, len(vals), len(m.val)*k)
+	}
+	if sameBacking(dst, x) || sameBacking(dst, vals) {
+		return errors.New("linalg: CSR batch mulVec dst aliases an input")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := x[i*k : i*k+k]
+		active := false
+		for _, v := range xi {
+			if v != 0 {
+				active = true
+				break
+			}
+		}
+		if !active {
+			continue
+		}
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		if vals == nil {
+			for p := lo; p < hi; p++ {
+				dj := dst[m.col[p]*k:]
+				v := m.val[p]
+				for j, xj := range xi {
+					dj[j] += xj * v
+				}
+			}
+			continue
+		}
+		for p := lo; p < hi; p++ {
+			dj := dst[m.col[p]*k:]
+			vp := vals[p*k : p*k+k]
+			for j, xj := range xi {
+				dj[j] += xj * vp[j]
+			}
+		}
+	}
+	return nil
+}
+
+// MulVecBatchMasked is MulVecBatch with an activity frontier: srcActive[i]
+// == false asserts that row i of x is all zero across every scenario, so
+// the pass skips it in O(1) instead of scanning K components — the win that
+// matters for age-layered absorbing chains where almost every state is
+// empty at any step. A conservatively true srcActive entry is always safe:
+// the row is then scanned and skipped if it turns out to be zero. On
+// return, dstActive (cleared first) marks every column that may hold mass —
+// a superset of the truly nonzero rows of dst, suitable as the next step's
+// srcActive. The pass allocates nothing.
+func (m *CSR) MulVecBatchMasked(dst, x []float64, k int, vals []float64, srcActive, dstActive []bool) error {
+	if k < 1 {
+		return fmt.Errorf("linalg: CSR batch width %d must be positive", k)
+	}
+	if len(x) != m.rows*k {
+		return fmt.Errorf("%w: CSR batch mulVec %d vs %d rows x %d scenarios", ErrDimension, len(x), m.rows, k)
+	}
+	if len(dst) != m.cols*k {
+		return fmt.Errorf("%w: CSR batch mulVec dst %d vs %d cols x %d scenarios", ErrDimension, len(dst), m.cols, k)
+	}
+	if vals != nil && len(vals) != len(m.val)*k {
+		return fmt.Errorf("%w: CSR batch values %d, want %d", ErrDimension, len(vals), len(m.val)*k)
+	}
+	if len(srcActive) != m.rows || len(dstActive) != m.cols {
+		return fmt.Errorf("%w: CSR batch masks %d/%d, want %d/%d", ErrDimension, len(srcActive), len(dstActive), m.rows, m.cols)
+	}
+	if sameBacking(dst, x) || sameBacking(dst, vals) {
+		return errors.New("linalg: CSR batch mulVec dst aliases an input")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for j := range dstActive {
+		dstActive[j] = false
+	}
+	for i := 0; i < m.rows; i++ {
+		if !srcActive[i] {
+			continue
+		}
+		xi := x[i*k : i*k+k]
+		active := false
+		for _, v := range xi {
+			if v != 0 {
+				active = true
+				break
+			}
+		}
+		if !active {
+			continue
+		}
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		if vals == nil {
+			for p := lo; p < hi; p++ {
+				c := m.col[p]
+				dstActive[c] = true
+				dj := dst[c*k:]
+				v := m.val[p]
+				for j, xj := range xi {
+					dj[j] += xj * v
+				}
+			}
+			continue
+		}
+		for p := lo; p < hi; p++ {
+			c := m.col[p]
+			dstActive[c] = true
+			dj := dst[c*k:]
+			vp := vals[p*k : p*k+k]
+			for j, xj := range xi {
+				dj[j] += xj * vp[j]
+			}
 		}
 	}
 	return nil

@@ -161,3 +161,194 @@ func TestCSREmpty(t *testing.T) {
 		t.Error("empty multiply should succeed")
 	}
 }
+
+func TestCSRMulVecRejectsAliasing(t *testing.T) {
+	m := buildCSR(t, [][]float64{{0.5, 0.5}, {1, 0}})
+	v := NewVector(2)
+	v[0] = 1
+	if err := m.MulVecInto(v, v); err == nil {
+		t.Fatal("aliased dst/x accepted; the product would be corrupted")
+	}
+	// A same-length distinct vector must still work.
+	dst := NewVector(2)
+	if err := m.MulVecInto(dst, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRSamePattern(t *testing.T) {
+	m := buildCSR(t, [][]float64{{0.5, 0.5}, {1, 0}})
+	reb, err := m.WithValues([]float64{0.3, 0.7, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.SamePattern(m) || !m.SamePattern(reb) || !reb.SamePattern(m) {
+		t.Error("rebind must share the pattern")
+	}
+	other := buildCSR(t, [][]float64{{0.5, 0.5}, {1, 0}})
+	if m.SamePattern(other) {
+		t.Error("independently built CSR must not count as the same pattern")
+	}
+}
+
+func TestCSREqualPattern(t *testing.T) {
+	m := buildCSR(t, [][]float64{{0.5, 0.5}, {1, 0}})
+	reb, err := m.WithValues([]float64{0.3, 0.7, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.EqualPattern(reb) {
+		t.Error("rebind must be pattern-equal (identity fast path)")
+	}
+	// Independently built, structurally identical: not SamePattern but
+	// EqualPattern — the per-scenario ProbFn batching case.
+	twin := buildCSR(t, [][]float64{{0.1, 0.9}, {0.4, 0}})
+	if m.SamePattern(twin) {
+		t.Error("independent twin must not share pattern identity")
+	}
+	if !m.EqualPattern(twin) || !twin.EqualPattern(m) {
+		t.Error("structurally identical twin must be pattern-equal")
+	}
+	// Different sparsity (zero entries are dropped by buildCSR): unequal.
+	sparse := buildCSR(t, [][]float64{{0.5, 0}, {0, 1}})
+	if m.EqualPattern(sparse) {
+		t.Error("different sparsity must not be pattern-equal")
+	}
+}
+
+// TestCSRMulVecBatchMatchesScalar pins the batched pass against K
+// independent scalar multiplies over random stochastic-ish matrices, with
+// and without a per-scenario value block.
+func TestCSRMulVecBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+			for j := range dense[i] {
+				if rng.Float64() < 0.4 {
+					dense[i][j] = rng.Float64()
+				}
+			}
+		}
+		m := buildCSR(t, dense)
+		for _, k := range []int{1, 2, 5} {
+			// Per-scenario values: scenario j scales every entry by a
+			// scenario factor, realized through rebound CSRs for the
+			// scalar reference and a packed block for the batch.
+			factors := make([]float64, k)
+			vals := make([]float64, m.NNZ()*k)
+			scalars := make([]*CSR, k)
+			for j := 0; j < k; j++ {
+				factors[j] = 0.5 + rng.Float64()
+				scaled := make([]float64, m.NNZ())
+				for p, v := range m.Values() {
+					scaled[p] = v * factors[j]
+					vals[p*k+j] = v * factors[j]
+				}
+				var err error
+				scalars[j], err = m.WithValues(scaled)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			x := make([]float64, n*k)
+			xj := make([]Vector, k)
+			for j := range xj {
+				xj[j] = NewVector(n)
+				for i := 0; i < n; i++ {
+					if rng.Float64() < 0.5 {
+						v := rng.Float64()
+						xj[j][i] = v
+						x[i*k+j] = v
+					}
+				}
+			}
+			dst := make([]float64, n*k)
+			if err := m.MulVecBatch(dst, x, k, vals); err != nil {
+				t.Fatal(err)
+			}
+			want := NewVector(n)
+			for j := 0; j < k; j++ {
+				if err := scalars[j].MulVecInto(want, xj[j]); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					if math.Abs(dst[i*k+j]-want[i]) > 1e-12 {
+						t.Fatalf("trial %d k=%d scenario %d state %d: batch %v vs scalar %v",
+							trial, k, j, i, dst[i*k+j], want[i])
+					}
+				}
+			}
+			// nil vals broadcasts the matrix's own values.
+			if err := m.MulVecBatch(dst, x, k, nil); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < k; j++ {
+				if err := m.MulVecInto(want, xj[j]); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					if math.Abs(dst[i*k+j]-want[i]) > 1e-12 {
+						t.Fatalf("trial %d k=%d scenario %d state %d (broadcast): batch %v vs scalar %v",
+							trial, k, j, i, dst[i*k+j], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCSRMulVecBatchErrors(t *testing.T) {
+	m := buildCSR(t, [][]float64{{0.5, 0.5}, {1, 0}})
+	x := make([]float64, 4)
+	dst := make([]float64, 4)
+	if err := m.MulVecBatch(dst, x, 0, nil); err == nil {
+		t.Error("zero batch width accepted")
+	}
+	if err := m.MulVecBatch(dst, x[:3], 2, nil); err == nil {
+		t.Error("short x accepted")
+	}
+	if err := m.MulVecBatch(dst[:3], x, 2, nil); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := m.MulVecBatch(dst, x, 2, make([]float64, 5)); err == nil {
+		t.Error("wrong value-block size accepted")
+	}
+	if err := m.MulVecBatch(dst, dst, 2, nil); err == nil {
+		t.Error("aliased dst/x accepted")
+	}
+}
+
+func TestCSRMulVecBatchAllocatesNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dense := make([][]float64, 40)
+	for i := range dense {
+		dense[i] = make([]float64, 40)
+		for j := range dense[i] {
+			if rng.Float64() < 0.2 {
+				dense[i][j] = rng.Float64()
+			}
+		}
+	}
+	m := buildCSR(t, dense)
+	const k = 16
+	x := make([]float64, 40*k)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	dst := make([]float64, 40*k)
+	vals := make([]float64, m.NNZ()*k)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := m.MulVecBatch(dst, x, k, vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("batched multiply allocates %v times per pass, want 0", allocs)
+	}
+}

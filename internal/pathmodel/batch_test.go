@@ -1,0 +1,127 @@
+package pathmodel
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"wirelesshart/internal/link"
+)
+
+// TestBindBatchSolveBatchMatchesScalar is the pathmodel half of the
+// batch-vs-scalar equivalence satellite: K scenarios bound in one
+// BindBatch and solved in one SolveBatch must match K independent
+// Bind+Solve runs to 1e-12 on every result field, including K=1 and
+// time-varying availabilities (DownDuring windows and permanent failures,
+// which exercise the per-attempt-slot evaluation).
+func TestBindBatchSolveBatchMatchesScalar(t *testing.T) {
+	slots := []int{1, 2, 3}
+	const fup, is, ttl = 7, 3, 14
+	st, err := BuildStructure(slots, fup, is, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := bindScenarios(t)
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, width := range []int{1, len(names)} {
+		scenarios := make([][]link.Availability, 0, width)
+		for _, name := range names[:width] {
+			scenarios = append(scenarios, byName[name])
+		}
+		models, err := st.BindBatch(scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := SolveBatch(models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, avails := range scenarios {
+			scalarModel, err := st.Bind(avails)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := scalarModel.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := batched[j]
+			if len(got.CycleProbs) != len(want.CycleProbs) {
+				t.Fatalf("%s: %d cycle probs, want %d", names[j], len(got.CycleProbs), len(want.CycleProbs))
+			}
+			for i := range got.CycleProbs {
+				if d := math.Abs(got.CycleProbs[i] - want.CycleProbs[i]); d > 1e-12 {
+					t.Errorf("%s cycle %d: batch %v vs scalar %v", names[j], i, got.CycleProbs[i], want.CycleProbs[i])
+				}
+			}
+			if d := math.Abs(got.DiscardProb - want.DiscardProb); d > 1e-12 {
+				t.Errorf("%s: discard %v vs %v", names[j], got.DiscardProb, want.DiscardProb)
+			}
+			if d := math.Abs(got.ExpectedAttempts - want.ExpectedAttempts); d > 1e-12 {
+				t.Errorf("%s: attempts %v vs %v", names[j], got.ExpectedAttempts, want.ExpectedAttempts)
+			}
+			if got.Fup != want.Fup || got.Is != want.Is || got.Hops != want.Hops {
+				t.Errorf("%s: config echo mismatch", names[j])
+			}
+			for i, a := range want.GoalAges {
+				if got.GoalAges[i] != a {
+					t.Errorf("%s: goal age %d is %d, want %d", names[j], i, got.GoalAges[i], a)
+				}
+			}
+		}
+	}
+}
+
+func TestBindBatchErrors(t *testing.T) {
+	st, err := BuildStructure([]int{1, 2}, 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.BindBatch(nil); err == nil {
+		t.Error("empty bind batch accepted")
+	}
+	lm, err := link.FromAvailability(0.83, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []link.Availability{lm.Steady(), lm.Steady()}
+	if _, err := st.BindBatch([][]link.Availability{good, {lm.Steady()}}); err == nil {
+		t.Error("hop-count mismatch in scenario 1 accepted")
+	}
+}
+
+func TestSolveBatchErrors(t *testing.T) {
+	st, err := BuildStructure([]int{1, 2}, 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := link.FromAvailability(0.83, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Bind([]link.Availability{lm.Steady(), lm.Steady()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveBatch(nil); err == nil {
+		t.Error("empty solve batch accepted")
+	}
+	if _, err := SolveBatch([]*Model{m, nil}); err == nil {
+		t.Error("nil model accepted")
+	}
+	other, err := BuildStructure([]int{1, 2}, 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := other.Bind([]link.Availability{lm.Steady(), lm.Steady()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveBatch([]*Model{m, om}); err == nil {
+		t.Error("mixed-structure batch accepted")
+	}
+}

@@ -66,8 +66,9 @@ var allowedImports = map[string][]string{
 	"internal/gen": {"internal/schedule", "internal/spec", "internal/topology"},
 
 	// Fleet evaluation drives generated populations through the engine. It
-	// may see core result types and the obs registry, but never cmd.
-	"internal/fleet": {"internal/core", "internal/engine", "internal/gen", "internal/obs", "internal/stats"},
+	// may see core result types, spec (to clone failure-sweep scenarios)
+	// and the obs registry, but never cmd.
+	"internal/fleet": {"internal/core", "internal/engine", "internal/gen", "internal/obs", "internal/spec", "internal/stats"},
 
 	"internal/experiments": {
 		"internal/channel", "internal/control", "internal/core", "internal/des",

@@ -7,4 +7,5 @@ import (
 	_ "wirelesshart/internal/gen"
 	_ "wirelesshart/internal/linalg" // want `import of wirelesshart/internal/linalg: not a registered edge of the internal/fleet layer`
 	_ "wirelesshart/internal/obs"
+	_ "wirelesshart/internal/spec"
 )

@@ -36,6 +36,15 @@ var checked = map[string]bool{
 	"(*wirelesshart/internal/linalg.CSR).WithValues":      true,
 	"wirelesshart/internal/linalg.NewCSR":                 true,
 	"wirelesshart/internal/link.New":                      true,
+
+	// Batched solver surface: every entry point returns an error whose
+	// loss silently corrupts a whole batch of scenarios at once.
+	"(*wirelesshart/internal/dtmc.Kernel).TransientBatch":         true,
+	"(*wirelesshart/internal/dtmc.Kernel).TransientBatchObserved": true,
+	"(*wirelesshart/internal/pathmodel.Structure).BindBatch":      true,
+	"wirelesshart/internal/pathmodel.SolveBatch":                  true,
+	"(*wirelesshart/internal/linalg.CSR).MulVecBatch":             true,
+	"(*wirelesshart/internal/linalg.CSR).MulVecBatchMasked":       true,
 }
 
 func run(pass *analysis.Pass) error {

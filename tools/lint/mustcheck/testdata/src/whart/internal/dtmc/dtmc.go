@@ -36,3 +36,16 @@ func (k *Kernel) Rebind(values []float64, tol float64) (*Kernel, error) {
 	_, _ = values, tol
 	return k, nil
 }
+
+// TransientBatch mirrors the batched transient solve.
+func (k *Kernel) TransientBatch(kernels []*Kernel, p0 [][]float64, t0, steps int) ([][]float64, error) {
+	_, _, _, _ = kernels, p0, t0, steps
+	return nil, nil
+}
+
+// TransientBatchObserved mirrors the observed batched solve.
+func (k *Kernel) TransientBatchObserved(kernels []*Kernel, p0 [][]float64, t0, steps int,
+	observe func(int) error) ([][]float64, error) {
+	_, _, _, _, _ = kernels, p0, t0, steps, observe
+	return nil, nil
+}

@@ -12,3 +12,18 @@ func (s *Structure) Bind(avails []func(int) float64) (*Model, error) {
 	_ = avails
 	return &Model{}, nil
 }
+
+// Result is the solved-path stub.
+type Result struct{}
+
+// BindBatch mirrors the K-scenario bind.
+func (s *Structure) BindBatch(scenarios [][]func(int) float64) ([]*Model, error) {
+	_ = scenarios
+	return nil, nil
+}
+
+// SolveBatch mirrors the lock-step batch solve.
+func SolveBatch(models []*Model) ([]*Result, error) {
+	_ = models
+	return nil, nil
+}

@@ -19,6 +19,14 @@ func bad() {
 	mdl, _ := st.Bind(nil) // want `error result of Bind assigned to blank identifier`
 	_ = mdl
 
+	k.TransientBatch(nil, nil, 0, 10)              // want `result of TransientBatch discarded; it must be checked`
+	k.TransientBatchObserved(nil, nil, 0, 10, nil) // want `result of TransientBatchObserved discarded; it must be checked`
+	st.BindBatch(nil)                              // want `result of BindBatch discarded; it must be checked`
+	pathmodel.SolveBatch(nil)                      // want `result of SolveBatch discarded; it must be checked`
+	models, _ := st.BindBatch(nil)                 // want `error result of BindBatch assigned to blank identifier`
+	results, _ := pathmodel.SolveBatch(models)     // want `error result of SolveBatch assigned to blank identifier`
+	_ = results
+
 	go c.Validate(1e-9)    // want `result of Validate discarded by go statement`
 	defer c.Validate(1e-9) // want `result of Validate discarded by defer statement`
 }
