@@ -1,7 +1,7 @@
 GO ?= go
 
 # Minimum statement coverage for the solver-critical packages.
-COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core ./internal/obs
+COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core ./internal/obs ./internal/link ./internal/channel
 COVER_MIN  = 85
 
 .PHONY: all build test race vet lint bench cover fleet-smoke clean
@@ -42,14 +42,19 @@ bench:
 
 # CI fleet smoke: sweep a 50-network population twice with a fixed seed
 # and require byte-identical reports — the end-to-end determinism check
-# behind the fleet subsystem (DESIGN.md §12).
+# behind the fleet subsystem (DESIGN.md §12) — then repeat with k-state
+# fading links drawn into the population (DESIGN.md §14).
 fleet-smoke:
 	@a=$$(mktemp) b=$$(mktemp); \
 	trap 'rm -f "$$a" "$$b"' EXIT; \
 	$(GO) run ./cmd/whart-fleet -seed 1 -n 50 -pernet -o "$$a" || exit 1; \
 	$(GO) run ./cmd/whart-fleet -seed 1 -n 50 -pernet -o "$$b" || exit 1; \
 	cmp "$$a" "$$b" || { echo "fleet sweep not byte-deterministic"; exit 1; }; \
-	echo "fleet smoke: 50-network sweep deterministic"
+	echo "fleet smoke: 50-network sweep deterministic"; \
+	$(GO) run ./cmd/whart-fleet -seed 1 -n 50 -pernet -fading 0.3 -fadingstates 3 -o "$$a" || exit 1; \
+	$(GO) run ./cmd/whart-fleet -seed 1 -n 50 -pernet -fading 0.3 -fadingstates 3 -o "$$b" || exit 1; \
+	cmp "$$a" "$$b" || { echo "fading fleet sweep not byte-deterministic"; exit 1; }; \
+	echo "fleet smoke: 50-network fading sweep deterministic"
 
 # The profile lives in a temp file so `make cover` never dirties the tree.
 cover:

@@ -25,6 +25,41 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunFading checks a fading fleet evaluates cleanly and
+// deterministically end to end, and that the burstiness knob changes the
+// drawn population.
+func TestRunFading(t *testing.T) {
+	fading := append(fastArgs, "-pernet", "-fading", "0.5", "-fadingstates", "3")
+	var a, b, c bytes.Buffer
+	if err := run(fading, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(fading, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical fading invocations produced different reports")
+	}
+	if err := run(append(fastArgs, "-pernet"), &c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("fading fleet matches the non-fading fleet byte for byte")
+	}
+	var rep struct {
+		Aggregate struct {
+			Evaluated int `json:"evaluated"`
+			Failed    int `json:"failed"`
+		} `json:"aggregate"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aggregate.Evaluated != 6 || rep.Aggregate.Failed != 0 {
+		t.Fatalf("evaluated=%d failed=%d, want 6/0", rep.Aggregate.Evaluated, rep.Aggregate.Failed)
+	}
+}
+
 // TestRunSeedEcho checks the JSON report echoes seed and population.
 func TestRunSeedEcho(t *testing.T) {
 	var buf bytes.Buffer

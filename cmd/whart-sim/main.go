@@ -69,11 +69,12 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	// One steady Gilbert process per link, using each link's own model,
-	// honoring the spec's failure injections.
+	// One steady process per link — the two-state chain for classic
+	// links, the k-state chain for fading links — honoring the spec's
+	// failure injections.
 	procs := map[topology.LinkID]des.LinkProcess{}
 	for _, l := range built.Net.Links() {
-		var proc des.LinkProcess = des.NewGilbertSteady(built.Analyzer.LinkModel(l.ID))
+		proc := des.NewProcessSteady(built.Analyzer.LinkProcess(l.ID))
 		if f, ok := built.Failures[l.ID]; ok {
 			switch f.Kind {
 			case "permanent":

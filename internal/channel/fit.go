@@ -1,0 +1,126 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SNRPartition is a threshold partition of an SNR trace into contiguous
+// bands of ascending channel quality, produced by PartitionSNRTrace.
+type SNRPartition struct {
+	// Thresholds holds the k-1 band boundaries in ascending order: a
+	// sample s belongs to band i when Thresholds[i-1] <= s < Thresholds[i]
+	// (band 0 is everything below Thresholds[0]).
+	Thresholds []float64
+	// States maps each trace sample to its band index (0 = worst SNR).
+	States []int
+	// Means holds the mean linear Eb/N0 of the samples in each band.
+	Means []float64
+	// Counts holds the number of samples in each band.
+	Counts []int
+}
+
+// PartitionSNRTrace splits a trace of per-slot linear Eb/N0 samples into k
+// bands by greedy variance reduction: starting from a single band, it
+// repeatedly applies the threshold split that removes the most
+// within-band sum of squared error — the 1-D special case of the
+// regression-trees fitting used for Markov fading-channel models. The
+// trace must contain at least k distinct values so that every band is
+// non-empty.
+func PartitionSNRTrace(trace []float64, k int) (SNRPartition, error) {
+	if k < 1 {
+		return SNRPartition{}, fmt.Errorf("channel: partition needs at least one band, got %d", k)
+	}
+	if len(trace) < 2 {
+		return SNRPartition{}, fmt.Errorf("channel: SNR trace has %d samples, need at least 2", len(trace))
+	}
+	for i, s := range trace {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return SNRPartition{}, fmt.Errorf("channel: SNR sample %d is %v, want a finite non-negative linear Eb/N0", i, s)
+		}
+	}
+
+	sorted := append([]float64(nil), trace...)
+	sort.Float64s(sorted)
+	distinct := 1
+	for i := 1; i < len(sorted); i++ {
+		//whartlint:ignore probfloat counting exactly-equal samples, not comparing computed probabilities
+		if sorted[i] != sorted[i-1] {
+			distinct++
+		}
+	}
+	if distinct < k {
+		return SNRPartition{}, fmt.Errorf("channel: trace has %d distinct SNR values, cannot form %d bands", distinct, k)
+	}
+
+	// Prefix sums over the sorted samples make each candidate split's SSE
+	// reduction O(1).
+	n := len(sorted)
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, s := range sorted {
+		prefix[i+1] = prefix[i] + s
+		prefixSq[i+1] = prefixSq[i] + s*s
+	}
+	sse := func(lo, hi int) float64 { // samples sorted[lo:hi]
+		m := float64(hi - lo)
+		sum := prefix[hi] - prefix[lo]
+		e := (prefixSq[hi] - prefixSq[lo]) - sum*sum/m
+		if e < 0 {
+			return 0 // rounding dust on constant segments
+		}
+		return e
+	}
+
+	// Greedy top-down splitting over segment boundaries [lo,hi).
+	type segment struct{ lo, hi int }
+	segs := []segment{{0, n}}
+	for len(segs) < k {
+		bestSeg, bestCut := -1, -1
+		bestGain := -1.0
+		for si, s := range segs {
+			base := sse(s.lo, s.hi)
+			for cut := s.lo + 1; cut < s.hi; cut++ {
+				//whartlint:ignore probfloat a split must separate exactly-equal samples, not computed probabilities
+				if sorted[cut] == sorted[cut-1] {
+					continue
+				}
+				gain := base - sse(s.lo, cut) - sse(cut, s.hi)
+				if gain > bestGain {
+					bestGain, bestSeg, bestCut = gain, si, cut
+				}
+			}
+		}
+		if bestSeg < 0 {
+			return SNRPartition{}, fmt.Errorf("channel: trace has too few distinct SNR values to form %d bands", k)
+		}
+		s := segs[bestSeg]
+		segs[bestSeg] = segment{s.lo, bestCut}
+		segs = append(segs, segment{bestCut, s.hi})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].lo < segs[j].lo })
+
+	part := SNRPartition{
+		Thresholds: make([]float64, k-1),
+		States:     make([]int, len(trace)),
+		Means:      make([]float64, k),
+		Counts:     make([]int, k),
+	}
+	for i, s := range segs {
+		if i < k-1 {
+			part.Thresholds[i] = sorted[s.hi] // first value of the next band
+		}
+		part.Means[i] = (prefix[s.hi] - prefix[s.lo]) / float64(s.hi-s.lo)
+		part.Counts[i] = s.hi - s.lo
+	}
+	for i, s := range trace {
+		part.States[i] = sort.SearchFloat64s(part.Thresholds, s)
+		// SearchFloat64s puts a sample equal to a threshold below it;
+		// thresholds are the first value of the upper band, so bump it up.
+		for part.States[i] < k-1 && s >= part.Thresholds[part.States[i]] {
+			part.States[i]++
+		}
+	}
+	return part, nil
+}

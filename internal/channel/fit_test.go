@@ -1,0 +1,117 @@
+package channel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPartitionSNRTraceTwoBands(t *testing.T) {
+	// Two well-separated clusters: the single best threshold must fall
+	// between them, whatever the sample order.
+	trace := []float64{1.1, 0.9, 80, 1.0, 75, 85, 0.95, 82, 1.05, 78}
+	part, err := PartitionSNRTrace(trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Thresholds) != 1 || part.Thresholds[0] <= 1.1 || part.Thresholds[0] > 75 {
+		t.Fatalf("Thresholds = %v, want one cut separating the clusters", part.Thresholds)
+	}
+	want := []int{0, 0, 1, 0, 1, 1, 0, 1, 0, 1}
+	for i, s := range part.States {
+		if s != want[i] {
+			t.Errorf("States[%d] = %d, want %d", i, s, want[i])
+		}
+	}
+	if part.Counts[0] != 5 || part.Counts[1] != 5 {
+		t.Errorf("Counts = %v, want [5 5]", part.Counts)
+	}
+	if math.Abs(part.Means[0]-1.0) > 0.2 || math.Abs(part.Means[1]-80) > 5 {
+		t.Errorf("Means = %v, want ~[1 80]", part.Means)
+	}
+}
+
+func TestPartitionSNRTraceThreeBands(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	var trace []float64
+	centers := []float64{1, 20, 90}
+	for i := 0; i < 900; i++ {
+		c := centers[i%3]
+		trace = append(trace, c*(0.9+0.2*rng.Float64()))
+	}
+	part, err := PartitionSNRTrace(trace, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Thresholds) != 2 {
+		t.Fatalf("Thresholds = %v, want 2 cuts", part.Thresholds)
+	}
+	for i, c := range centers {
+		if math.Abs(part.Means[i]-c) > 0.15*c {
+			t.Errorf("Means[%d] = %v, want ~%v", i, part.Means[i], c)
+		}
+		if part.Counts[i] != 300 {
+			t.Errorf("Counts[%d] = %d, want 300", i, part.Counts[i])
+		}
+	}
+	total := 0
+	for _, c := range part.Counts {
+		total += c
+	}
+	if total != len(trace) {
+		t.Errorf("Counts sum to %d, want %d", total, len(trace))
+	}
+}
+
+func TestPartitionSNRTraceSingleBand(t *testing.T) {
+	part, err := PartitionSNRTrace([]float64{3, 5, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Thresholds) != 0 || part.Counts[0] != 3 {
+		t.Fatalf("single band partition = %+v", part)
+	}
+	if math.Abs(part.Means[0]-4) > 1e-12 {
+		t.Errorf("Means[0] = %v, want 4", part.Means[0])
+	}
+}
+
+func TestPartitionSNRTraceErrors(t *testing.T) {
+	if _, err := PartitionSNRTrace([]float64{1, 2}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PartitionSNRTrace([]float64{1}, 1); err == nil {
+		t.Error("single-sample trace accepted")
+	}
+	if _, err := PartitionSNRTrace([]float64{2, 2, 2, 2}, 2); err == nil {
+		t.Error("constant trace split into two bands")
+	}
+	if _, err := PartitionSNRTrace([]float64{1, math.NaN()}, 1); err == nil {
+		t.Error("NaN sample accepted")
+	}
+	if _, err := PartitionSNRTrace([]float64{1, -1}, 1); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, err := PartitionSNRTrace([]float64{1, math.Inf(1)}, 1); err == nil {
+		t.Error("infinite sample accepted")
+	}
+}
+
+func TestPartitionSNRTraceBoundarySample(t *testing.T) {
+	// A sample exactly equal to a threshold belongs to the upper band:
+	// thresholds are defined as the first value of the next band.
+	trace := []float64{1, 1, 10, 10, 1, 10}
+	part, err := PartitionSNRTrace(trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Thresholds[0] != 10 {
+		t.Fatalf("Thresholds = %v, want [10]", part.Thresholds)
+	}
+	want := []int{0, 0, 1, 1, 0, 1}
+	for i, s := range part.States {
+		if s != want[i] {
+			t.Errorf("States[%d] = %d, want %d", i, s, want[i])
+		}
+	}
+}

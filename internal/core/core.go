@@ -29,8 +29,8 @@ type Analyzer struct {
 	is        int
 	fdown     int
 	ttl       int
-	uniform   link.Model
-	models    map[topology.LinkID]link.Model
+	uniform   link.Process
+	procs     map[topology.LinkID]link.Process
 	overrides map[topology.LinkID]link.Availability
 	sources   []topology.NodeID
 	cache     PathModelCache
@@ -79,28 +79,40 @@ type StructureCache interface {
 	PutStructure(key string, s *pathmodel.Structure)
 }
 
-// PathKey is the canonical identity of a steady-state path DTMC: the
+// ProcessKey is the canonical identity of a steady-state path DTMC: the
 // schedule geometry (slots within a Fup-slot frame), the reporting
-// interval, the TTL override (0 = default), and each hop's link-model
-// parameters. Two paths with equal keys build identical chains, so their
-// compiled kernels and solutions are interchangeable. The key is only
-// meaningful for hops driven by their model's steady-state availability —
-// callers must not use it when a per-slot availability override is in
-// effect.
-func PathKey(slots []int, fup, is, ttl int, models []link.Model) string {
+// interval, the TTL override (0 = default), and each hop's canonical
+// link-process encoding (link.Process.AppendKey). Two paths with equal
+// keys build identical chains, so their compiled kernels and solutions are
+// interchangeable; process encodings are collision-free across
+// implementations, so a k-state fading hop never shares a key with a
+// two-state hop. The key is only meaningful for hops driven by their
+// process's steady-state availability — callers must not use it when a
+// per-slot availability override is in effect.
+func ProcessKey(slots []int, fup, is, ttl int, procs []link.Process) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d|%d|%d|", fup, is, ttl)
 	for _, s := range slots {
 		sb.WriteString(strconv.Itoa(s))
 		sb.WriteByte(',')
 	}
-	for _, m := range models {
+	var buf []byte
+	for _, p := range procs {
 		sb.WriteByte('|')
-		sb.WriteString(strconv.FormatFloat(m.FailureProb(), 'b', -1, 64))
-		sb.WriteByte(':')
-		sb.WriteString(strconv.FormatFloat(m.RecoveryProb(), 'b', -1, 64))
+		buf = p.AppendKey(buf[:0])
+		sb.Write(buf)
 	}
 	return sb.String()
+}
+
+// PathKey is ProcessKey for paths whose hops all run the classic two-state
+// model.
+func PathKey(slots []int, fup, is, ttl int, models []link.Model) string {
+	procs := make([]link.Process, len(models))
+	for i, m := range models {
+		procs[i] = m
+	}
+	return ProcessKey(slots, fup, is, ttl, procs)
 }
 
 // Option configures an Analyzer.
@@ -142,21 +154,40 @@ func WithTTL(ttl int) Option {
 	}
 }
 
-// WithUniformLinkModel sets the link model used for every link that has no
-// per-link override — the paper's homogeneous evaluations.
-func WithUniformLinkModel(m link.Model) Option {
+// WithUniformLinkProcess sets the link process used for every link that
+// has no per-link override.
+func WithUniformLinkProcess(p link.Process) Option {
 	return func(a *Analyzer) error {
-		a.uniform = m
+		if p == nil {
+			return errors.New("core: nil uniform link process")
+		}
+		a.uniform = p
 		return nil
 	}
 }
 
-// WithLinkModel sets the model of one specific link (inhomogeneous links).
-func WithLinkModel(id topology.LinkID, m link.Model) Option {
+// WithUniformLinkModel sets the two-state link model used for every link
+// that has no per-link override — the paper's homogeneous evaluations.
+func WithUniformLinkModel(m link.Model) Option {
+	return WithUniformLinkProcess(m)
+}
+
+// WithLinkProcess sets the link process of one specific link — the general
+// form of WithLinkModel that also accepts k-state fading processes.
+func WithLinkProcess(id topology.LinkID, p link.Process) Option {
 	return func(a *Analyzer) error {
-		a.models[id] = m
+		if p == nil {
+			return fmt.Errorf("core: nil process for link %d", id)
+		}
+		a.procs[id] = p
 		return nil
 	}
+}
+
+// WithLinkModel sets the two-state model of one specific link
+// (inhomogeneous links).
+func WithLinkModel(id topology.LinkID, m link.Model) Option {
+	return WithLinkProcess(id, m)
 }
 
 // WithLinkAvailability overrides one link's per-slot availability entirely
@@ -242,7 +273,7 @@ func New(net *topology.Network, sched schedule.Plan, opts ...Option) (*Analyzer,
 		is:           4,
 		fdown:        -1, // resolved to Fup below unless set
 		uniform:      def,
-		models:       map[topology.LinkID]link.Model{},
+		procs:        map[topology.LinkID]link.Process{},
 		overrides:    map[topology.LinkID]link.Availability{},
 		localStructs: map[string]*pathmodel.Structure{},
 	}
@@ -266,12 +297,19 @@ func New(net *topology.Network, sched schedule.Plan, opts ...Option) (*Analyzer,
 	return a, nil
 }
 
-// LinkModel returns the model in effect for a link.
-func (a *Analyzer) LinkModel(id topology.LinkID) link.Model {
-	if m, ok := a.models[id]; ok {
-		return m
+// LinkProcess returns the link process in effect for a link.
+func (a *Analyzer) LinkProcess(id topology.LinkID) link.Process {
+	if p, ok := a.procs[id]; ok {
+		return p
 	}
 	return a.uniform
+}
+
+// LinkModel returns the two-state view of the process in effect for a
+// link: the process itself when it is a classic model, otherwise the
+// memoryless equivalent with the same stationary availability.
+func (a *Analyzer) LinkModel(id topology.LinkID) link.Model {
+	return link.MemorylessEquivalent(a.LinkProcess(id))
 }
 
 // availability returns the per-slot availability in effect for a link.
@@ -279,7 +317,7 @@ func (a *Analyzer) availability(id topology.LinkID) link.Availability {
 	if av, ok := a.overrides[id]; ok {
 		return av
 	}
-	return a.LinkModel(id).Steady()
+	return a.LinkProcess(id).Steady()
 }
 
 // Routes returns the uplink routes keyed by source.
@@ -393,8 +431,8 @@ func (a *Analyzer) buildPathModelWith(source topology.NodeID, availOf func(topol
 	}
 	key := ""
 	if a.cache != nil && availOf == nil {
-		if models, cacheable := a.pathModels(p); cacheable {
-			key = PathKey(slots, a.sched.Fup(), a.is, a.ttl, models)
+		if procs, cacheable := a.pathProcesses(p); cacheable {
+			key = ProcessKey(slots, a.sched.Fup(), a.is, a.ttl, procs)
 			endKernel := a.span("kernel", "source", itoa(int(source)))
 			m, ok := a.cache.GetModel(key)
 			if ok {
@@ -430,17 +468,17 @@ func (a *Analyzer) buildPathModelWith(source topology.NodeID, availOf func(topol
 // itoa keeps span-attribute call sites short.
 func itoa(v int) string { return strconv.Itoa(v) }
 
-// pathModels returns the link model of each hop, and whether the path is
-// cacheable (no per-slot availability override on any hop).
-func (a *Analyzer) pathModels(p topology.Path) ([]link.Model, bool) {
-	models := make([]link.Model, p.Hops())
+// pathProcesses returns the link process of each hop, and whether the path
+// is cacheable (no per-slot availability override on any hop).
+func (a *Analyzer) pathProcesses(p topology.Path) ([]link.Process, bool) {
+	procs := make([]link.Process, p.Hops())
 	for h, lid := range p.Links() {
 		if _, overridden := a.overrides[lid]; overridden {
 			return nil, false
 		}
-		models[h] = a.LinkModel(lid)
+		procs[h] = a.LinkProcess(lid)
 	}
-	return models, true
+	return procs, true
 }
 
 // AnalyzePath solves one source's path model and derives its measures.

@@ -62,12 +62,21 @@ func (a *Analyzer) SensitivityAnalysis(delta float64) ([]LinkSensitivity, error)
 		if _, masked := a.overrides[l.ID]; masked {
 			continue
 		}
-		m := a.LinkModel(l.ID)
-		improvedAvail := m.SteadyUp() + delta
+		proc := a.LinkProcess(l.ID)
+		improvedAvail := proc.SteadyUp() + delta
 		if improvedAvail > 1 {
 			improvedAvail = 1
 		}
-		improved, err := link.FromAvailability(improvedAvail, m.RecoveryProb())
+		// The perturbation raises the stationary availability; for a
+		// two-state model the recovery probability is preserved, while a
+		// richer fading process is perturbed through its memoryless
+		// equivalent (the steady marginal is all the analytic path model
+		// consumes).
+		prc := link.DefaultRecoveryProb
+		if m, ok := proc.(link.Model); ok {
+			prc = m.RecoveryProb()
+		}
+		improved, err := link.FromAvailability(improvedAvail, prc)
 		if err != nil {
 			return nil, err
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"wirelesshart/internal/link"
 	"wirelesshart/internal/spec"
 )
 
@@ -58,7 +59,13 @@ type canonNode struct {
 type canonLink struct {
 	A, B     string
 	PFl, PRc float64
-	Failure  string // "", "permanent", or "window:from:to"
+	// Fading carries the canonical link.Process encoding for k-state
+	// fading links (PFl/PRc stay zero there); it is omitted — preserving
+	// the historical key bytes — for two-state links. Process encodings
+	// are collision-free across implementations, so a fading link never
+	// hashes like a scalar one.
+	Fading  string `json:",omitempty"`
+	Failure string // "", "permanent", or "window:from:to"
 }
 
 type canonSchedule struct {
@@ -117,11 +124,16 @@ func canonicalize(s *spec.Spec) (*canonScenario, error) {
 		c.Nodes = append(c.Nodes, canonNode{Name: n.Name, Kind: kind})
 	}
 	for _, l := range s.Links {
-		m, err := s.ResolveLink(l)
+		p, err := s.ResolveLinkProcess(l)
 		if err != nil {
 			return nil, fmt.Errorf("engine: link %q-%q: %w", l.A, l.B, err)
 		}
-		cl := canonLink{A: l.A, B: l.B, PFl: m.FailureProb(), PRc: m.RecoveryProb()}
+		cl := canonLink{A: l.A, B: l.B}
+		if m, ok := p.(link.Model); ok {
+			cl.PFl, cl.PRc = m.FailureProb(), m.RecoveryProb()
+		} else {
+			cl.Fading = string(p.AppendKey(nil))
+		}
 		if cl.A > cl.B {
 			cl.A, cl.B = cl.B, cl.A
 		}

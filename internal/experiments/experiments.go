@@ -59,6 +59,7 @@ func registry() []Experiment {
 		{ID: "rtrip", Title: "Extension: control-loop completion, analytic vs full-loop DES", Run: RunRTrip},
 		{ID: "ttl", Title: "Extension: message TTL sweep on the example path", Run: RunTTL},
 		{ID: "sens", Title: "Extension: link improvement ranking (routing suggestions)", Run: RunSens},
+		{ID: "fading", Title: "Extension: k-state fading burstiness, analytic vs DES", Run: RunFading},
 	}
 }
 

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "tab1", "fig10",
 		"fig12", "fig13", "fig14", "fig15", "tab2", "fig16", "fig17",
 		"tab3", "fig18", "fig19", "tab4", "xval", "ctrl", "opt", "hop",
-		"plant", "mchan", "inhomo", "rtrip", "ttl", "sens",
+		"plant", "mchan", "inhomo", "rtrip", "ttl", "sens", "fading",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestComputeFadingAnalyticFlat pins the sweep's design invariant: every
+// sweep point has the same steady availability, so the analytic column
+// (which consumes only per-slot marginals) is constant across burstiness,
+// while the simulated reachability of a sticky chain falls measurably
+// below the fast-mixing one.
+func TestComputeFadingAnalyticFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES sweep in -short mode")
+	}
+	rows, err := ComputeFading([]float64{0.34, 0.97}, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (baseline + 2 stays)", len(rows))
+	}
+	for _, r := range rows[1:] {
+		if math.Abs(r.AnalyticReach-rows[1].AnalyticReach) > 1e-9 {
+			t.Errorf("row %s: analytic reachability %v differs from %v despite matched marginals",
+				r.Label, r.AnalyticReach, rows[1].AnalyticReach)
+		}
+	}
+	fast, sticky := rows[1], rows[2]
+	if sticky.WorstGap <= fast.WorstGap {
+		t.Errorf("sticky chain gap %v not above fast-mixing gap %v", sticky.WorstGap, fast.WorstGap)
+	}
+	if sticky.SimReach >= fast.SimReach {
+		t.Errorf("sticky chain simulated reachability %v not below fast-mixing %v", sticky.SimReach, fast.SimReach)
+	}
+}

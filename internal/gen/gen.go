@@ -24,8 +24,10 @@ package gen
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 
+	"wirelesshart/internal/link"
 	"wirelesshart/internal/schedule"
 	"wirelesshart/internal/spec"
 	"wirelesshart/internal/topology"
@@ -64,6 +66,18 @@ type Params struct {
 	DegradedProb float64 `json:"degradedProb,omitempty"`
 	DegradedLo   float64 `json:"degradedLo,omitempty"`
 	DegradedHi   float64 `json:"degradedHi,omitempty"`
+	// FadingProb, when positive, draws that fraction of links as k-state
+	// Markov fading links — a spec `fading` block instead of a scalar
+	// availability. Zero (the default) keeps every existing seed
+	// byte-identical.
+	FadingProb float64 `json:"fadingProb,omitempty"`
+	// FadingStates is the number of channel states k for drawn fading
+	// links (0 selects 3).
+	FadingStates int `json:"fadingStates,omitempty"`
+	// FadingStay is the per-state self-transition probability of drawn
+	// fading chains — the burstiness knob (0 selects 0.9). Must stay
+	// below 1: a stay probability of 1 makes the chain reducible.
+	FadingStay float64 `json:"fadingStay,omitempty"`
 	// Channels is the number of parallel frequency channels for the
 	// synthesized schedule (1..16; >1 yields a multi-channel schedule).
 	Channels int `json:"channels"`
@@ -97,6 +111,15 @@ func DefaultParams() Params {
 // implied per-slot failure probability exceeds 1 for the default recovery
 // probability (p_fl = p_rc*(1-A)/A).
 const minAvail = 0.5
+
+// Fading-draw defaults and bounds: three channel states (deep fade,
+// shadowed, clear) with a sticky chain, capped well below population
+// sizes where the k x k transition matrix would dominate the spec.
+const (
+	defaultFadingStates = 3
+	defaultFadingStay   = 0.9
+	maxFadingStates     = 16
+)
 
 // Validate checks the parameters for internal consistency.
 func (p Params) Validate() error {
@@ -142,6 +165,15 @@ func (p Params) Validate() error {
 		if err := checkAvailRange("degraded availability", p.DegradedLo, p.DegradedHi); err != nil {
 			return err
 		}
+	}
+	if p.FadingProb < 0 || p.FadingProb > 1 {
+		return fmt.Errorf("gen: FadingProb %v out of [0,1]", p.FadingProb)
+	}
+	if p.FadingStates != 0 && (p.FadingStates < 2 || p.FadingStates > maxFadingStates) {
+		return fmt.Errorf("gen: FadingStates %d out of [2,%d]", p.FadingStates, maxFadingStates)
+	}
+	if p.FadingStay < 0 || p.FadingStay >= 1 {
+		return fmt.Errorf("gen: FadingStay %v out of [0,1)", p.FadingStay)
 	}
 	if p.Channels < 1 || p.Channels > 16 {
 		return fmt.Errorf("gen: Channels %d out of [1,16]", p.Channels)
@@ -230,17 +262,30 @@ func Generate(seed uint64, index int, p Params) (*Generated, error) {
 		ReportingInterval: p.ReportingInterval,
 	}
 	linked := map[[2]int]bool{}
-	addLink := func(a, b int) {
+	addLink := func(a, b int) error {
 		if a > b {
 			a, b = b, a
 		}
 		linked[[2]int{a, b}] = true
+		if p.FadingProb > 0 && rng.Float64() < p.FadingProb {
+			f, err := drawFading(rng, p)
+			if err != nil {
+				return err
+			}
+			s.Links = append(s.Links, spec.Link{
+				A:      nodeName(a),
+				B:      nodeName(b),
+				Fading: f,
+			})
+			return nil
+		}
 		avail := drawAvail(rng, p)
 		s.Links = append(s.Links, spec.Link{
 			A:            nodeName(a),
 			B:            nodeName(b),
 			Availability: &avail,
 		})
+		return nil
 	}
 
 	for i := 1; i <= n; i++ {
@@ -263,7 +308,9 @@ func Generate(seed uint64, index int, p Params) (*Generated, error) {
 		parents[i] = parent
 		depths[i] = d
 		levels[d] = append(levels[d], i)
-		addLink(parent, i)
+		if err := addLink(parent, i); err != nil {
+			return nil, err
+		}
 	}
 
 	// Mesh redundancy: extra links between nodes at most one depth level
@@ -290,7 +337,9 @@ func Generate(seed uint64, index int, p Params) (*Generated, error) {
 			if len(cands) == 0 {
 				continue
 			}
-			addLink(i, cands[rng.IntN(len(cands))])
+			if err := addLink(i, cands[rng.IntN(len(cands))]); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -388,6 +437,39 @@ func placeableDepth(want int, levels [][]int, fanIn, maxDepth int) int {
 		}
 	}
 	return 0
+}
+
+// drawFading samples a k-state uniform-mixing fading chain whose steady
+// availability is one draw from the link-quality mix: the per-state
+// success probabilities are spread symmetrically around the drawn
+// availability, and the chain's uniform stationary distribution keeps
+// the mean — hence the steady availability — exactly at the draw. The
+// spread is the distance to the nearer [0,1] boundary, so a clear-sky
+// draw yields a narrow fade and a marginal draw a deep one.
+func drawFading(rng *rand.Rand, p Params) (*spec.Fading, error) {
+	k := p.FadingStates
+	if k == 0 {
+		k = defaultFadingStates
+	}
+	stay := p.FadingStay
+	if stay == 0 {
+		stay = defaultFadingStay
+	}
+	avail := drawAvail(rng, p)
+	spread := math.Min(avail, 1-avail)
+	succ := make([]float64, k)
+	for i := range succ {
+		t := 2*float64(i)/float64(k-1) - 1
+		succ[i] = avail + spread*t
+	}
+	m, err := link.NewUniformMixing(stay, succ)
+	if err != nil {
+		return nil, fmt.Errorf("gen: fading draw: %w", err)
+	}
+	return &spec.Fading{
+		Transitions: m.TransitionMatrix(),
+		Success:     m.SuccessProbs(),
+	}, nil
 }
 
 // drawAvail samples the link-quality mix.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"wirelesshart/internal/link"
 	"wirelesshart/internal/topology"
 )
 
@@ -22,11 +23,18 @@ func testParams() Params {
 // schedule, and solve without error through the pathmodel pipeline.
 func TestGeneratedInvariants(t *testing.T) {
 	cases := map[string]Params{
-		"default":     testParams(),
-		"singlechan":  func() Params { p := testParams(); p.Channels = 1; return p }(),
-		"bimodal":     func() Params { p := testParams(); p.DegradedProb = 0.3; p.DegradedLo = 0.55; p.DegradedHi = 0.7; return p }(),
+		"default":    testParams(),
+		"singlechan": func() Params { p := testParams(); p.Channels = 1; return p }(),
+		"bimodal": func() Params {
+			p := testParams()
+			p.DegradedProb = 0.3
+			p.DegradedLo = 0.55
+			p.DegradedHi = 0.7
+			return p
+		}(),
 		"shallow":     func() Params { p := testParams(); p.MaxDepth = 2; p.DepthWeights = nil; p.MaxFanIn = 8; return p }(),
 		"dense-extra": func() Params { p := testParams(); p.ExtraLinkProb = 1; return p }(),
+		"fading":      func() Params { p := testParams(); p.FadingProb = 0.4; return p }(),
 	}
 	for name, p := range cases {
 		p := p
@@ -191,6 +199,110 @@ func TestSynthesizeMatchesSpecSchedule(t *testing.T) {
 	}
 }
 
+// TestGenerateFadingLinks pins the fading draw: with FadingProb = 1
+// every link carries a fading block (no scalar availability), the block
+// reconstructs into a valid k-state chain of the requested size whose
+// steady availability lands in the configured link-quality range, and
+// the draw is deterministic.
+func TestGenerateFadingLinks(t *testing.T) {
+	p := testParams()
+	p.FadingProb = 1
+	p.FadingStates = 4
+	p.FadingStay = 0.85
+	g, err := Generate(3, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range g.Spec.Links {
+		if l.Fading == nil {
+			t.Fatalf("link %d: no fading block despite FadingProb=1", i)
+		}
+		if l.Availability != nil {
+			t.Fatalf("link %d: fading link also carries a scalar availability", i)
+		}
+		m, err := link.NewKState(l.Fading.Transitions, l.Fading.Success)
+		if err != nil {
+			t.Fatalf("link %d: drawn fading block invalid: %v", i, err)
+		}
+		if m.States() != 4 {
+			t.Fatalf("link %d: %d states, want 4", i, m.States())
+		}
+		if a := m.SteadyUp(); a < p.AvailLo-1e-9 || a > p.AvailHi+1e-9 {
+			t.Fatalf("link %d: steady availability %v outside [%v,%v]", i, a, p.AvailLo, p.AvailHi)
+		}
+	}
+	g2, err := Generate(3, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var abuf, bbuf bytes.Buffer
+	if err := g.Spec.Write(&abuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Spec.Write(&bbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(abuf.Bytes(), bbuf.Bytes()) {
+		t.Fatal("fading specs differ between identical generations")
+	}
+}
+
+// TestGenerateFadingMixed checks a fractional FadingProb draws both link
+// kinds over a small population.
+func TestGenerateFadingMixed(t *testing.T) {
+	p := testParams()
+	p.FadingProb = 0.5
+	fading, scalar := 0, 0
+	for index := 0; index < 6; index++ {
+		g, err := Generate(5, index, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range g.Spec.Links {
+			if l.Fading != nil {
+				fading++
+			} else {
+				scalar++
+			}
+		}
+	}
+	if fading == 0 || scalar == 0 {
+		t.Fatalf("FadingProb=0.5 drew %d fading and %d scalar links", fading, scalar)
+	}
+}
+
+// TestGenerateFadingOffPreservesSeeds pins the backward-compatibility
+// contract: with FadingProb zero, setting the other fading knobs leaves
+// every generated byte untouched, and no link carries a fading block.
+func TestGenerateFadingOffPreservesSeeds(t *testing.T) {
+	a, err := Generate(21, 0, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.FadingStates = 5
+	p.FadingStay = 0.7
+	b, err := Generate(21, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var abuf, bbuf bytes.Buffer
+	if err := a.Spec.Write(&abuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spec.Write(&bbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(abuf.Bytes(), bbuf.Bytes()) {
+		t.Fatal("fading knobs changed generation despite FadingProb=0")
+	}
+	for i, l := range a.Spec.Links {
+		if l.Fading != nil {
+			t.Fatalf("link %d: fading block despite FadingProb=0", i)
+		}
+	}
+}
+
 func TestParamsValidate(t *testing.T) {
 	bad := []func(*Params){
 		func(p *Params) { p.NodesMin = 0 },
@@ -207,6 +319,12 @@ func TestParamsValidate(t *testing.T) {
 		func(p *Params) { p.AvailHi = 1.01 },
 		func(p *Params) { p.AvailLo = 0.9; p.AvailHi = 0.8 },
 		func(p *Params) { p.DegradedProb = 0.5 }, // degraded range unset
+		func(p *Params) { p.FadingProb = -0.1 },
+		func(p *Params) { p.FadingProb = 1.5 },
+		func(p *Params) { p.FadingProb = 0.5; p.FadingStates = 1 },
+		func(p *Params) { p.FadingProb = 0.5; p.FadingStates = 17 },
+		func(p *Params) { p.FadingProb = 0.5; p.FadingStay = 1 },
+		func(p *Params) { p.FadingProb = 0.5; p.FadingStay = -0.1 },
 		func(p *Params) { p.Channels = 0 },
 		func(p *Params) { p.Channels = 17 },
 		func(p *Params) { p.ExtraIdle = -1 },

@@ -1,0 +1,134 @@
+package pathmodel
+
+import (
+	"math"
+	"testing"
+
+	"wirelesshart/internal/link"
+)
+
+// TestBindProcessesTwoStateEquivalence is the satellite-1 pin at the
+// pathmodel layer: a path whose hops run the k=2 embedding of the classic
+// model must solve to the same result as the classic model, at 1e-12.
+func TestBindProcessesTwoStateEquivalence(t *testing.T) {
+	slots := []int{1, 2, 3}
+	st, err := BuildStructure(slots, 7, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := link.New(0.17, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := link.FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := st.BindProcesses([]link.Process{m, m, m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fading, err := st.BindProcesses([]link.Process{ks, ks, ks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := classic.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fading.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.CycleProbs) != len(want.CycleProbs) {
+		t.Fatalf("%d cycles, want %d", len(got.CycleProbs), len(want.CycleProbs))
+	}
+	for i := range got.CycleProbs {
+		if d := math.Abs(got.CycleProbs[i] - want.CycleProbs[i]); d > 1e-12 {
+			t.Errorf("cycle %d diverges by %v", i+1, d)
+		}
+	}
+	if d := math.Abs(got.Reachability() - want.Reachability()); d > 1e-12 {
+		t.Errorf("reachability diverges by %v", d)
+	}
+	if d := math.Abs(got.ExpectedAttempts - want.ExpectedAttempts); d > 1e-12 {
+		t.Errorf("expected attempts diverge by %v", d)
+	}
+}
+
+func TestBindProcessesValidation(t *testing.T) {
+	st, err := BuildStructure([]int{1, 2}, 5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := link.New(0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.BindProcesses([]link.Process{m, nil}); err == nil {
+		t.Error("nil process accepted")
+	}
+	if _, err := st.BindProcesses([]link.Process{m}); err == nil {
+		t.Error("hop-count mismatch accepted")
+	}
+}
+
+// TestFadingBatchMatchesScalar pins the batch solver against scalar solves
+// at 1e-12 for k-state fading scenarios, including a transient marginal
+// that varies per slot — the acceptance criterion that fading availabilities
+// flow through Bind/BindBatch and SolveBatch unchanged.
+func TestFadingBatchMatchesScalar(t *testing.T) {
+	slots := []int{1, 2, 3}
+	st, err := BuildStructure(slots, 7, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := link.NewUniformMixing(0.9, []float64{0.15, 0.7, 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faded, err := bursty.StartingIn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear, err := bursty.StartingIn(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := link.New(0.17, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := [][]link.Availability{
+		{bursty.Steady(), bursty.Steady(), bursty.Steady()},
+		{faded, bursty.Steady(), m.Steady()},
+		{clear, faded, bursty.Steady()},
+	}
+	batch, err := st.BindBatch(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := SolveBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, avails := range scenarios {
+		scalarModel, err := st.Bind(avails)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scalarModel.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[k]
+		for i := range got.CycleProbs {
+			if d := math.Abs(got.CycleProbs[i] - want.CycleProbs[i]); d > 1e-12 {
+				t.Errorf("scenario %d cycle %d diverges by %v", k, i+1, d)
+			}
+		}
+		if d := math.Abs(got.Reachability() - want.Reachability()); d > 1e-12 {
+			t.Errorf("scenario %d reachability diverges by %v", k, d)
+		}
+	}
+}

@@ -267,3 +267,19 @@ func (s *Structure) Bind(avails []link.Availability) (*Model, error) {
 		kernel: kernel,
 	}, nil
 }
+
+// BindProcesses is Bind for hops driven by link processes in their
+// stationary regime: each hop's availability is the process's steady
+// marginal. Transient regimes (a fading link known to start in a
+// particular channel state) bind their marginals through Bind directly,
+// e.g. KState.MarginalFrom.
+func (s *Structure) BindProcesses(procs []link.Process) (*Model, error) {
+	avails := make([]link.Availability, len(procs))
+	for h, p := range procs {
+		if p == nil {
+			return nil, fmt.Errorf("pathmodel: hop %d has nil link process", h+1)
+		}
+		avails[h] = p.Steady()
+	}
+	return s.Bind(avails)
+}

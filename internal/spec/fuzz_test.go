@@ -21,6 +21,24 @@ func FuzzParseBuild(f *testing.F) {
 		  "reportingInterval": 2, "ttl": 5, "fdown": 3}`,
 		`{"nodes": [{"name": "a"}], "links": [{"a": "a", "b": "a"}]}`,
 		`{"nodes": [{"name": "G", "kind": "gateway"}], "schedule": {"policy": "zzz"}}`,
+		`{"nodes": [{"name": "G", "kind": "gateway"}, {"name": "n1"}],
+		  "links": [{"a": "n1", "b": "G",
+		    "fading": {"transitions": [[0.9, 0.05, 0.05], [0.1, 0.8, 0.1], [0.2, 0.2, 0.6]],
+		               "success": [0.1, 0.6, 0.99]}}],
+		  "schedule": {"policy": "shortest-first"}}`,
+		`{"nodes": [{"name": "G", "kind": "gateway"}, {"name": "n1"}],
+		  "links": [{"a": "n1", "b": "G",
+		    "fading": {"transitions": [[0.9, 0.2], [0.4, 0.6]], "success": [1, 0]}}],
+		  "schedule": {"policy": "shortest-first"}}`,
+		`{"nodes": [{"name": "G", "kind": "gateway"}, {"name": "n1"}],
+		  "links": [{"a": "n1", "b": "G", "ber": 1e-4,
+		    "fading": {"transitions": [[0.9, 0.1], [0.4, 0.6]], "success": [1, 0]}}],
+		  "schedule": {"policy": "shortest-first"}}`,
+		`{"nodes": [{"name": "G", "kind": "gateway"}, {"name": "n1"}],
+		  "links": [{"a": "n1", "b": "G",
+		    "fading": {"transitions": [[0.9, 0.1], [0.4, 0.6]], "success": [1, -0.5]},
+		    "failure": {"kind": "window", "fromSlot": 1, "toSlot": 5}}],
+		  "schedule": {"policy": "shortest-first"}}`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -44,8 +44,23 @@ type Link struct {
 	Availability *float64 `json:"availability,omitempty"`
 	// PRc overrides the recovery probability (default 0.9).
 	PRc *float64 `json:"prc,omitempty"`
+	// Fading declares a k-state Markov fading-channel model for the link.
+	// It is exclusive with the scalar physical fields (PFl, BER, EbN0,
+	// Availability, PRc), which all parameterize the two-state model the
+	// fading block replaces.
+	Fading *Fading `json:"fading,omitempty"`
 	// Failure injects a link failure for analysis (paper Section VI-C).
 	Failure *Failure `json:"failure,omitempty"`
+}
+
+// Fading declares a k-state Markov fading-channel link model: a slot
+// transition matrix over k channel states and a per-state packet success
+// probability. State order is arbitrary but shared between the two fields.
+type Fading struct {
+	// Transitions is the row-stochastic k×k slot transition matrix.
+	Transitions [][]float64 `json:"transitions"`
+	// Success holds the k per-state packet success probabilities.
+	Success []float64 `json:"success"`
 }
 
 // Failure describes an injected link failure.
@@ -136,7 +151,10 @@ type Built struct {
 	Analyzer *core.Analyzer
 	// Sources are the field devices in declaration order.
 	Sources []topology.NodeID
-	// LinkModels maps link ids to their effective models.
+	// LinkProcesses maps link ids to their effective link processes.
+	LinkProcesses map[topology.LinkID]link.Process
+	// LinkModels maps link ids to the two-state view of their effective
+	// processes (the memoryless equivalent for fading links).
 	LinkModels map[topology.LinkID]link.Model
 	// Failures maps link ids to their declared failure injections.
 	Failures map[topology.LinkID]Failure
@@ -180,6 +198,7 @@ func (s *Spec) BuildWith(extra ...core.Option) (*Built, error) {
 		}
 	}
 
+	linkProcs := map[topology.LinkID]link.Process{}
 	linkModels := map[topology.LinkID]link.Model{}
 	injections := map[topology.LinkID]link.Availability{}
 	failures := map[topology.LinkID]Failure{}
@@ -193,13 +212,14 @@ func (s *Spec) BuildWith(extra ...core.Option) (*Built, error) {
 		if err != nil {
 			return nil, fmt.Errorf("spec: %w", err)
 		}
-		m, err := s.linkModel(l, bits)
+		p, err := s.linkProcess(l, bits)
 		if err != nil {
 			return nil, fmt.Errorf("spec: link %q-%q: %w", l.A, l.B, err)
 		}
-		linkModels[lid] = m
+		linkProcs[lid] = p
+		linkModels[lid] = link.MemorylessEquivalent(p)
 		if l.Failure != nil {
-			av, err := failureAvailability(m, l.Failure)
+			av, err := failureAvailability(p, l.Failure)
 			if err != nil {
 				return nil, fmt.Errorf("spec: link %q-%q: %w", l.A, l.B, err)
 			}
@@ -239,8 +259,8 @@ func (s *Spec) BuildWith(extra ...core.Option) (*Built, error) {
 		return nil, err
 	}
 	opts = append(opts, core.WithUniformLinkModel(def))
-	for lid, m := range linkModels {
-		opts = append(opts, core.WithLinkModel(lid, m))
+	for lid, p := range linkProcs {
+		opts = append(opts, core.WithLinkProcess(lid, p))
 	}
 	for lid, av := range injections {
 		opts = append(opts, core.WithLinkAvailability(lid, av))
@@ -251,12 +271,13 @@ func (s *Spec) BuildWith(extra ...core.Option) (*Built, error) {
 		return nil, err
 	}
 	return &Built{
-		Net:        net,
-		Schedule:   sched,
-		Analyzer:   an,
-		Sources:    sources,
-		LinkModels: linkModels,
-		Failures:   failures,
+		Net:           net,
+		Schedule:      sched,
+		Analyzer:      an,
+		Sources:       sources,
+		LinkProcesses: linkProcs,
+		LinkModels:    linkModels,
+		Failures:      failures,
 	}, nil
 }
 
@@ -269,21 +290,41 @@ func (s *Spec) Bits() int {
 	return s.MessageBits
 }
 
-// ResolveLink returns the effective link model of one declared link under
-// this spec's message length and default BER — the same resolution Build
-// applies. It lets callers (the evaluation engine's cache-key
-// canonicalization in particular) compare links by their semantics rather
-// than by which physical field happened to parameterize them.
+// ResolveLink returns the two-state view of the effective link process of
+// one declared link under this spec's message length and default BER — the
+// model itself for scalar-parameterized links, the memoryless equivalent
+// for fading links. It lets callers compare links by their semantics
+// rather than by which physical field happened to parameterize them.
 func (s *Spec) ResolveLink(l Link) (link.Model, error) {
-	return s.linkModel(l, s.Bits())
+	p, err := s.linkProcess(l, s.Bits())
+	if err != nil {
+		return link.Model{}, err
+	}
+	return link.MemorylessEquivalent(p), nil
 }
 
-func failureAvailability(m link.Model, f *Failure) (link.Availability, error) {
+// ResolveLinkProcess returns the effective link process of one declared
+// link — the same resolution Build applies: the k-state fading model when
+// a fading block is present, the scalar-field two-state model otherwise.
+// The evaluation engine hashes its canonical encoding into scenario keys.
+func (s *Spec) ResolveLinkProcess(l Link) (link.Process, error) {
+	return s.linkProcess(l, s.Bits())
+}
+
+// failureAvailability injects a declared failure into a link's per-slot
+// availability. A window failure on a two-state link relaxes back through
+// the model's transient curve (paper Section VI-C); on a fading link the
+// paper-compatible no-relaxation Blocked semantics apply — the chain
+// resumes at its stationary marginal after the window.
+func failureAvailability(p link.Process, f *Failure) (link.Availability, error) {
 	switch f.Kind {
 	case "permanent":
 		return link.PermanentDown(), nil
 	case "window":
-		return m.DownDuring(f.FromSlot, f.ToSlot, m.Steady())
+		if m, ok := p.(link.Model); ok {
+			return m.DownDuring(f.FromSlot, f.ToSlot, m.Steady())
+		}
+		return link.Blocked(p.Steady(), f.FromSlot, f.ToSlot)
 	default:
 		return nil, fmt.Errorf("unknown failure kind %q", f.Kind)
 	}
@@ -295,6 +336,36 @@ func (s *Spec) defaultModel(bits int) (link.Model, error) {
 		ber = *s.DefaultBER
 	}
 	return link.FromBER(ber, bits, link.DefaultRecoveryProb)
+}
+
+// linkProcess resolves one declared link to its effective process: a
+// fading block (exclusive with every scalar physical field) yields a
+// k-state model, anything else the two-state model of linkModel.
+func (s *Spec) linkProcess(l Link, bits int) (link.Process, error) {
+	if l.Fading == nil {
+		return s.linkModel(l, bits)
+	}
+	var conflict string
+	switch {
+	case l.PFl != nil:
+		conflict = "pfl"
+	case l.BER != nil:
+		conflict = "ber"
+	case l.EbN0 != nil:
+		conflict = "ebN0"
+	case l.Availability != nil:
+		conflict = "availability"
+	case l.PRc != nil:
+		conflict = "prc"
+	}
+	if conflict != "" {
+		return nil, fmt.Errorf("fading block conflicts with scalar field %q", conflict)
+	}
+	p, err := link.NewKState(l.Fading.Transitions, l.Fading.Success)
+	if err != nil {
+		return nil, fmt.Errorf("fading block: %w", err)
+	}
+	return p, nil
 }
 
 func (s *Spec) linkModel(l Link, bits int) (link.Model, error) {

@@ -63,7 +63,7 @@ var allowedImports = map[string][]string{
 
 	// The topology generator sits beside spec: it emits specs and realizes
 	// them, but never sees the engine — fleets own orchestration.
-	"internal/gen": {"internal/schedule", "internal/spec", "internal/topology"},
+	"internal/gen": {"internal/link", "internal/schedule", "internal/spec", "internal/topology"},
 
 	// Fleet evaluation drives generated populations through the engine. It
 	// may see core result types, spec (to clone failure-sweep scenarios)

@@ -1,9 +1,11 @@
-// gen may emit specs via topology/schedule/spec, but must not reach the
-// engine: orchestration belongs to fleet.
+// gen may emit specs via topology/schedule/spec — and link, for drawing
+// fading-chain parameters — but must not reach the engine: orchestration
+// belongs to fleet.
 package gen
 
 import (
 	_ "wirelesshart/internal/engine" // want `import of wirelesshart/internal/engine: not a registered edge of the internal/gen layer`
+	_ "wirelesshart/internal/link"
 	_ "wirelesshart/internal/schedule"
 	_ "wirelesshart/internal/spec"
 	_ "wirelesshart/internal/topology"

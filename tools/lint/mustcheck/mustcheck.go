@@ -45,6 +45,19 @@ var checked = map[string]bool{
 	"wirelesshart/internal/pathmodel.SolveBatch":                  true,
 	"(*wirelesshart/internal/linalg.CSR).MulVecBatch":             true,
 	"(*wirelesshart/internal/linalg.CSR).MulVecBatchMasked":       true,
+
+	// Fading-link surface: every constructor validates stochasticity
+	// (row sums, probability ranges, unique stationary distribution);
+	// a dropped error hands the solver an invalid chain.
+	"wirelesshart/internal/link.NewKState":                       true,
+	"wirelesshart/internal/link.FromModel":                       true,
+	"wirelesshart/internal/link.NewUniformMixing":                true,
+	"wirelesshart/internal/link.FromSNRTrace":                    true,
+	"(*wirelesshart/internal/link.KState).MarginalFrom":          true,
+	"(*wirelesshart/internal/link.KState).StartingIn":            true,
+	"wirelesshart/internal/channel.PartitionSNRTrace":            true,
+	"(*wirelesshart/internal/spec.Spec).ResolveLinkProcess":      true,
+	"(*wirelesshart/internal/pathmodel.Structure).BindProcesses": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,23 @@
+// Stub of the real internal/link fading surface mustcheck watches.
+package link
+
+// KState is the k-state fading model stub.
+type KState struct{}
+
+// NewKState mirrors the explicit-matrix constructor.
+func NewKState(trans [][]float64, succ []float64) (*KState, error) {
+	_, _ = trans, succ
+	return &KState{}, nil
+}
+
+// NewUniformMixing mirrors the uniform-mixing constructor.
+func NewUniformMixing(stay float64, succ []float64) (*KState, error) {
+	_, _ = stay, succ
+	return &KState{}, nil
+}
+
+// MarginalFrom mirrors the transient-marginal accessor.
+func (k *KState) MarginalFrom(dist []float64) (func(int) float64, error) {
+	_ = dist
+	return nil, nil
+}

@@ -2,6 +2,7 @@ package m
 
 import (
 	"wirelesshart/internal/dtmc"
+	"wirelesshart/internal/link"
 	"wirelesshart/internal/pathmodel"
 )
 
@@ -26,6 +27,11 @@ func bad() {
 	models, _ := st.BindBatch(nil)                 // want `error result of BindBatch assigned to blank identifier`
 	results, _ := pathmodel.SolveBatch(models)     // want `error result of SolveBatch assigned to blank identifier`
 	_ = results
+
+	link.NewKState(nil, nil)          // want `result of NewKState discarded; it must be checked`
+	link.NewUniformMixing(0.9, nil)   // want `result of NewUniformMixing discarded; it must be checked`
+	ks, _ := link.NewKState(nil, nil) // want `error result of NewKState assigned to blank identifier`
+	ks.MarginalFrom(nil)              // want `result of MarginalFrom discarded; it must be checked`
 
 	go c.Validate(1e-9)    // want `result of Validate discarded by go statement`
 	defer c.Validate(1e-9) // want `result of Validate discarded by defer statement`

@@ -50,6 +50,8 @@ var probArgs = map[string][]int{
 	"wirelesshart/internal/stats.NegBinomialReachability":    {1},    // ps
 	"(*wirelesshart/internal/stats.PMF).Quantile":            {0},    // level
 	"wirelesshart/internal/stats.Percentile":                 {1},    // q (quantile level)
+	"wirelesshart/internal/link.NewUniformMixing":            {0},    // stay
+	"wirelesshart/internal/link.FromAvailability":            {0, 1}, // availability, prc
 }
 
 func run(pass *analysis.Pass) error {

@@ -26,3 +26,18 @@ func (m Model) TransientUp(u0 float64, t int) float64 {
 	_ = t
 	return u0
 }
+
+// KState is the k-state fading model stub.
+type KState struct{}
+
+// NewUniformMixing mirrors the real stay-probability parameter.
+func NewUniformMixing(stay float64, succ []float64) (*KState, error) {
+	_, _ = stay, succ
+	return &KState{}, nil
+}
+
+// FromAvailability mirrors the real availability/recovery parameters.
+func FromAvailability(availability, prc float64) (Model, error) {
+	_, _ = availability, prc
+	return Model{}, nil
+}

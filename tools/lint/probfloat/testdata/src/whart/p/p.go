@@ -57,4 +57,9 @@ func ranges() {
 
 	_, _ = stats.Percentile(nil, 1.1) // want `probability argument 1.1 to Percentile is outside \[0,1\]`
 	_, _ = stats.Percentile(nil, 0.9) // in range
+
+	_, _ = link.NewUniformMixing(1.5, nil)  // want `probability argument 1.5 to NewUniformMixing is outside \[0,1\]`
+	_, _ = link.NewUniformMixing(0.9, nil)  // in range
+	_, _ = link.FromAvailability(-0.1, 0.9) // want `probability argument .* to FromAvailability is outside \[0,1\]`
+	_, _ = link.FromAvailability(0.8, 0.9)  // in range
 }
