@@ -1,10 +1,10 @@
 GO ?= go
 
 # Minimum statement coverage for the solver-critical packages.
-COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core ./internal/obs ./internal/link ./internal/channel
+COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core ./internal/obs ./internal/link ./internal/channel ./internal/cluster
 COVER_MIN  = 85
 
-.PHONY: all build test race vet lint bench cover fleet-smoke clean
+.PHONY: all build test race vet lint bench cover fleet-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -55,6 +55,14 @@ fleet-smoke:
 	$(GO) run ./cmd/whart-fleet -seed 1 -n 50 -pernet -fading 0.3 -fadingstates 3 -o "$$b" || exit 1; \
 	cmp "$$a" "$$b" || { echo "fading fleet sweep not byte-deterministic"; exit 1; }; \
 	echo "fleet smoke: 50-network fading sweep deterministic"
+
+# CI cluster smoke: boot a 3-replica consistent-hash cluster, drive the
+# same scenarios through different replicas (cross-replica cache hits via
+# peer forwarding), SIGTERM one replica and require the survivors to keep
+# answering in degraded-local mode, then restart it from its snapshot and
+# require zero fresh solves (DESIGN.md §15).
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # The profile lives in a temp file so `make cover` never dirties the tree.
 cover:

@@ -1,0 +1,157 @@
+// Command whart-benchcmp compares two `go test -bench` outputs and fails
+// when a benchmark regresses beyond a threshold. It is the CI
+// bench-regression gate: the workflow downloads the previous main-branch
+// bench artifact, reruns the gated benchmarks, and refuses the change if
+// any of them slowed down by more than -threshold percent.
+//
+// Usage:
+//
+//	whart-benchcmp -old main.txt -new pr.txt [-threshold 20] [-match regex]
+//
+// Only ns/op is compared. Repeated runs of the same benchmark collapse to
+// their minimum (the least-noisy sample, as benchstat does for "best").
+// Benchmarks present in only one file are reported but never fatal — new
+// benchmarks must not break the gate, and deleted ones are a review
+// concern, not a performance one.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whart-benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	oldPath := fs.String("old", "", "baseline `go test -bench` output")
+	newPath := fs.String("new", "", "candidate `go test -bench` output")
+	threshold := fs.Float64("threshold", 20, "max allowed ns/op regression in percent")
+	match := fs.String("match", "", "regexp of benchmark names the gate enforces (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *oldPath == "" || *newPath == "" || fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "usage: whart-benchcmp -old FILE -new FILE [-threshold PCT] [-match REGEX]")
+		return 2
+	}
+	var gate *regexp.Regexp
+	if *match != "" {
+		var err error
+		if gate, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintf(stderr, "whart-benchcmp: bad -match: %v\n", err)
+			return 2
+		}
+	}
+	oldRes, err := parseBenchFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "whart-benchcmp: %v\n", err)
+		return 2
+	}
+	newRes, err := parseBenchFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "whart-benchcmp: %v\n", err)
+		return 2
+	}
+	return compare(oldRes, newRes, *threshold, gate, stdout)
+}
+
+// parseBenchFile extracts ns/op per benchmark name from go test -bench
+// output, collapsing repeated runs to their minimum and stripping the
+// -GOMAXPROCS suffix so runs on different machines still line up.
+func parseBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, ns, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; !seen || ns < prev {
+			out[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+// parseBenchLine reads one "BenchmarkName-8  100  12345 ns/op ..." line.
+func parseBenchLine(line string) (name string, nsPerOp float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		name = fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		return name, ns, true
+	}
+	return "", 0, false
+}
+
+func compare(oldRes, newRes map[string]float64, threshold float64, gate *regexp.Regexp, w io.Writer) int {
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		oldNs := oldRes[name]
+		newNs, ok := newRes[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %12.0f ns/op  (missing from new run)\n", name, oldNs)
+			continue
+		}
+		delta := (newNs - oldNs) / oldNs * 100
+		verdict := "ok"
+		if gated := gate == nil || gate.MatchString(name); gated && delta > threshold {
+			verdict = fmt.Sprintf("FAIL (>%.0f%%)", threshold)
+			failed++
+		}
+		fmt.Fprintf(w, "%-60s %12.0f → %12.0f ns/op  %+7.1f%%  %s\n", name, oldNs, newNs, delta, verdict)
+	}
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			fmt.Fprintf(w, "%-60s %12s → %12.0f ns/op  (new benchmark)\n", name, "-", newRes[name])
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond %.0f%%\n", failed, threshold)
+		return 1
+	}
+	return 0
+}

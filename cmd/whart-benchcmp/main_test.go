@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkTransientBatch/k=8-16  	 100	  12345 ns/op", "BenchmarkTransientBatch/k=8", 12345, true},
+		{"BenchmarkPathSolve-8   50   98765.5 ns/op   12 B/op", "BenchmarkPathSolve", 98765.5, true},
+		{"BenchmarkNoSuffix 10 42 ns/op", "BenchmarkNoSuffix", 42, true},
+		{"goos: linux", "", 0, false},
+		{"PASS", "", 0, false},
+		{"BenchmarkAllocOnly-8 10 128 B/op", "", 0, false},
+		{"", "", 0, false},
+	}
+	for _, tt := range cases {
+		name, ns, ok := parseBenchLine(tt.line)
+		if name != tt.name || ns != tt.ns || ok != tt.ok {
+			t.Errorf("parseBenchLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				tt.line, name, ns, ok, tt.name, tt.ns, tt.ok)
+		}
+	}
+}
+
+func writeBench(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	oldF := writeBench(t, dir, "old.txt", `
+goos: linux
+BenchmarkTransientBatch-8   100   1000 ns/op
+BenchmarkTransientBatch-8   100   1100 ns/op
+BenchmarkPathSolve-8        100   2000 ns/op
+BenchmarkOther-8            100   5000 ns/op
+PASS
+`)
+	// Within threshold everywhere: exit 0. Repeated runs collapse to the
+	// minimum, so 1150 vs min(1000,1100) is a 15% delta.
+	okF := writeBench(t, dir, "ok.txt", `
+BenchmarkTransientBatch-8   100   1150 ns/op
+BenchmarkPathSolve-8        100   2100 ns/op
+BenchmarkOther-8            100   9000 ns/op
+`)
+	var out bytes.Buffer
+	code := run([]string{"-old", oldF, "-new", okF, "-threshold", "20",
+		"-match", "BenchmarkTransientBatch|BenchmarkPathSolve"}, &out, &out)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+	// BenchmarkOther regressed 80% but is outside -match: reported, not fatal.
+	if !strings.Contains(out.String(), "BenchmarkOther") {
+		t.Errorf("ungated benchmark missing from report:\n%s", out.String())
+	}
+
+	// A gated bench regressing beyond threshold: exit 1 and named FAIL.
+	badF := writeBench(t, dir, "bad.txt", `
+BenchmarkTransientBatch-8   100   1500 ns/op
+BenchmarkPathSolve-8        100   2100 ns/op
+`)
+	out.Reset()
+	code = run([]string{"-old", oldF, "-new", badF, "-threshold", "20",
+		"-match", "BenchmarkTransientBatch|BenchmarkPathSolve"}, &out, &out)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "1 benchmark(s) regressed") {
+		t.Errorf("regression not reported:\n%s", out.String())
+	}
+}
+
+func TestMissingAndNewBenchmarksAreNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	oldF := writeBench(t, dir, "old.txt", "BenchmarkGone-8 100 1000 ns/op\n")
+	newF := writeBench(t, dir, "new.txt", "BenchmarkAdded-8 100 1000 ns/op\n")
+	var out bytes.Buffer
+	if code := run([]string{"-old", oldF, "-new", newF}, &out, &out); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "missing from new run") ||
+		!strings.Contains(out.String(), "new benchmark") {
+		t.Errorf("report incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	real := writeBench(t, dir, "a.txt", "BenchmarkX-8 1 5 ns/op\n")
+	empty := writeBench(t, dir, "empty.txt", "PASS\n")
+	for _, args := range [][]string{
+		{},
+		{"-old", real},
+		{"-new", real},
+		{"-old", real, "-new", real, "stray"},
+		{"-old", real, "-new", real, "-match", "("},
+		{"-old", filepath.Join(dir, "absent.txt"), "-new", real},
+		{"-old", real, "-new", empty},
+	} {
+		var out bytes.Buffer
+		if code := run(args, &out, &out); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

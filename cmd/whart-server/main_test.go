@@ -3,15 +3,21 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"io/fs"
 	"log"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"wirelesshart/internal/cluster"
 	"wirelesshart/internal/engine"
+	"wirelesshart/internal/spec"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -40,10 +46,85 @@ func TestParseFlags(t *testing.T) {
 		{"-tracebuf", "-2"},
 		{"stray-arg"},
 		{"-no-such-flag"},
+		{"-peers", "b=http://x:1"},             // -peers without -id
+		{"-id", "a", "-peers", "b"},            // not id=url
+		{"-id", "a", "-peers", "=http://x:1"},  // empty id
+		{"-id", "a", "-peers", "b="},           // empty url
+		{"-id", "a", "-peers", "a=http://x:1"}, // self listed as peer
+		{"-id", "a", "-peers", ", ,"},          // no peers at all
 	} {
 		if _, err := parseFlags(args); err == nil {
 			t.Errorf("parseFlags(%v) accepted, want error", args)
 		}
+	}
+}
+
+func TestParseFlagsCluster(t *testing.T) {
+	cfg, err := parseFlags([]string{"-id", "a",
+		"-peers", "b=http://h:8081, c=http://h:8082", "-snapshot", "/tmp/x.snap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.id != "a" || cfg.snapshot != "/tmp/x.snap" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if len(cfg.peerList) != 2 ||
+		cfg.peerList[0] != (cluster.Member{ID: "b", URL: "http://h:8081"}) ||
+		cfg.peerList[1] != (cluster.Member{ID: "c", URL: "http://h:8082"}) {
+		t.Errorf("peerList = %+v", cfg.peerList)
+	}
+	// -id alone is a single-replica "cluster": valid, no peers.
+	solo, err := parseFlags([]string{"-id", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.peerList != nil {
+		t.Errorf("solo peerList = %+v, want nil", solo.peerList)
+	}
+	// -snapshot works standalone too.
+	if _, err := parseFlags([]string{"-snapshot", "/tmp/x.snap"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotFileLifecycle covers the startup/drain file path: save a
+// warm engine's cache to disk, restore it into a fresh engine, and the
+// cached scenario is answered without a solve. Missing and corrupt files
+// fail without disturbing the engine.
+func TestSnapshotFileLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	eng := engine.New(engine.Config{})
+	if _, err := eng.Evaluate(context.Background(), spec.TypicalSpec()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := saveSnapshotFile(eng, path)
+	if err != nil || n != 1 {
+		t.Fatalf("save: n=%d err=%v", n, err)
+	}
+
+	restarted := engine.New(engine.Config{})
+	if n, err := loadSnapshotFile(restarted, path); err != nil || n != 1 {
+		t.Fatalf("load: n=%d err=%v", n, err)
+	}
+	if _, err := restarted.Evaluate(context.Background(), spec.TypicalSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if snap := restarted.MetricsSnapshot(); snap.Solves != 0 || snap.CacheHits != 1 {
+		t.Errorf("restored engine: solves=%d hits=%d, want 0/1", snap.Solves, snap.CacheHits)
+	}
+
+	if _, err := loadSnapshotFile(restarted, filepath.Join(t.TempDir(), "absent.snap")); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing file: err = %v, want fs.ErrNotExist", err)
+	}
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := engine.New(engine.Config{})
+	if _, err := loadSnapshotFile(fresh, path); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	if fresh.MetricsSnapshot().CacheLen != 0 {
+		t.Error("corrupt file populated the cache")
 	}
 }
 

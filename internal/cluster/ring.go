@@ -1,0 +1,146 @@
+// Package cluster is the distribution layer under the evaluation engine:
+// a consistent-hash ring that assigns every canonical scenario key an
+// owner replica, an HTTP peer client (bounded retries, jittered backoff,
+// a failure-counting breaker per peer) for forwarding misses to their
+// owner, and a versioned, checksummed snapshot codec for persisting the
+// warm result cache across restarts.
+//
+// The package is deliberately engine-free and stdlib-only: it moves keys
+// and opaque JSON values, never results. The engine layers ownership
+// checks and forwarding on top (DESIGN.md §15).
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-replica virtual-node count used when
+// NewRing is given zero. 512 points per replica keeps the key share of a
+// 5-replica ring within a few percent of uniform.
+const DefaultVirtualNodes = 512
+
+// Member is one replica of the cluster: a stable identifier (the unit of
+// hashing — restarting a replica under the same ID keeps its key range)
+// and the base URL its peers reach it at. The local replica's URL may be
+// empty; nothing forwards to itself.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url,omitempty"`
+}
+
+// Ring is an immutable consistent-hash ring over the cluster's members.
+// Each member is hashed onto the ring at VirtualNodes points; a key is
+// owned by the member whose point follows the key's hash clockwise.
+// Because points depend only on member IDs, every replica given the same
+// membership computes the same ring, with no coordination.
+type Ring struct {
+	self    Member
+	members []Member // sorted by ID
+	points  []point  // sorted by hash
+	vnodes  int
+}
+
+// point is one virtual node: a position on the ring and the member index
+// (into members) it routes to.
+type point struct {
+	hash uint64
+	idx  int
+}
+
+// NewRing builds the ring for a cluster of members, one of which (selfID)
+// is the local replica. vnodes is the number of virtual nodes per member
+// (0 means DefaultVirtualNodes). Member IDs must be unique and non-empty,
+// and selfID must be a member: a replica that is not in its own ring
+// would forward every key, including its own.
+func NewRing(selfID string, members []Member, vnodes int) (*Ring, error) {
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if vnodes < 0 {
+		return nil, fmt.Errorf("cluster: virtual node count %d must be positive", vnodes)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	sorted := append([]Member(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	r := &Ring{members: sorted, vnodes: vnodes}
+	selfIdx := -1
+	for i, m := range sorted {
+		if m.ID == "" {
+			return nil, fmt.Errorf("cluster: member %d has an empty ID", i)
+		}
+		if i > 0 && sorted[i-1].ID == m.ID {
+			return nil, fmt.Errorf("cluster: duplicate member ID %q", m.ID)
+		}
+		if m.ID == selfID {
+			selfIdx = i
+		}
+	}
+	if selfIdx < 0 {
+		return nil, fmt.Errorf("cluster: self %q is not a ring member", selfID)
+	}
+	r.self = sorted[selfIdx]
+	r.points = make([]point, 0, len(sorted)*vnodes)
+	for i, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(m.ID, v), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// A full SHA-256 collision between distinct (ID, vnode) pairs is
+		// unreachable in practice; break ties by member order anyway so
+		// the ring stays deterministic even then.
+		return a.idx < b.idx
+	})
+	return r, nil
+}
+
+// pointHash places virtual node v of member id on the ring. The hash must
+// be stable across processes and releases: every replica, and every
+// restart, has to agree on key ownership. SHA-256 truncated to 64 bits is
+// stable, well-mixed, and already the repo's canonical key hash.
+func pointHash(id string, v int) uint64 {
+	sum := sha256.Sum256([]byte(id + "#" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash places a scenario key on the ring. Keys are hashed with a
+// distinct prefix so a key can never be systematically glued to a
+// member's virtual-node positions.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte("key:" + key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning key: the first virtual node at or after
+// the key's hash, wrapping around the ring.
+func (r *Ring) Owner(key string) Member {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.members[r.points[i].idx]
+}
+
+// IsOwner reports whether the local replica owns key.
+func (r *Ring) IsOwner(key string) bool { return r.Owner(key).ID == r.self.ID }
+
+// Self returns the local replica's member entry.
+func (r *Ring) Self() Member { return r.self }
+
+// Members returns the ring membership sorted by ID. The slice is shared;
+// treat it as read-only.
+func (r *Ring) Members() []Member { return r.members }
+
+// VirtualNodes returns the per-member virtual-node count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }

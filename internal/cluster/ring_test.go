@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fiveMembers() []Member {
+	var ms []Member
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		ms = append(ms, Member{ID: id, URL: "http://" + id})
+	}
+	return ms
+}
+
+func TestNewRingValidation(t *testing.T) {
+	ms := fiveMembers()
+	cases := []struct {
+		name    string
+		self    string
+		members []Member
+		vnodes  int
+	}{
+		{"no members", "a", nil, 0},
+		{"negative vnodes", "a", ms, -1},
+		{"self not a member", "zz", ms, 0},
+		{"duplicate ID", "a", append(fiveMembers(), Member{ID: "a"}), 0},
+		{"empty ID", "a", append(fiveMembers(), Member{ID: ""}), 0},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewRing(tt.self, tt.members, tt.vnodes); err == nil {
+				t.Errorf("NewRing(%q, %d members, vnodes=%d) accepted, want error",
+					tt.self, len(tt.members), tt.vnodes)
+			}
+		})
+	}
+
+	r, err := NewRing("c", ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Self().ID != "c" || r.Self().URL != "http://c" {
+		t.Errorf("Self() = %+v, want member c", r.Self())
+	}
+	if r.VirtualNodes() != DefaultVirtualNodes {
+		t.Errorf("VirtualNodes() = %d, want default %d", r.VirtualNodes(), DefaultVirtualNodes)
+	}
+	if got := len(r.Members()); got != 5 {
+		t.Errorf("%d members, want 5", got)
+	}
+}
+
+// TestRingDeterministicAcrossReplicas pins the core zero-coordination
+// property: every replica, whatever its own identity and the order it was
+// handed the membership in, computes the same owner for every key.
+func TestRingDeterministicAcrossReplicas(t *testing.T) {
+	ms := fiveMembers()
+	reversed := make([]Member, len(ms))
+	for i, m := range ms {
+		reversed[len(ms)-1-i] = m
+	}
+	ra, err := NewRing("a", ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewRing("e", reversed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("scenario-%d", i)
+		if ra.Owner(key).ID != re.Owner(key).ID {
+			t.Fatalf("key %q: replica a says owner %s, replica e says %s",
+				key, ra.Owner(key).ID, re.Owner(key).ID)
+		}
+	}
+}
+
+// TestRingBalance checks the key distribution across 5 replicas: with the
+// default virtual-node count, every replica's share of 20000 keys must be
+// within 15% of the uniform share.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing("a", fiveMembers(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i)).ID]++
+	}
+	mean := float64(keys) / 5
+	for _, m := range r.Members() {
+		share := float64(counts[m.ID])
+		dev := (share - mean) / mean
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("member %s owns %d keys, %.1f%% off the uniform share", m.ID, counts[m.ID], 100*dev)
+		}
+	}
+}
+
+// TestRingMinimalRemapping removes one replica and requires consistent
+// hashing's defining property: only the departed replica's keys move.
+func TestRingMinimalRemapping(t *testing.T) {
+	before, err := NewRing("a", fiveMembers(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survivors []Member
+	for _, m := range fiveMembers() {
+		if m.ID != "c" {
+			survivors = append(survivors, m)
+		}
+	}
+	after, err := NewRing("a", survivors, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20000
+	moved, owned := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := before.Owner(key).ID, after.Owner(key).ID
+		if was == "c" {
+			owned++
+			continue // departed replica's keys must move somewhere
+		}
+		if was != is {
+			moved++
+			t.Errorf("key %q moved %s -> %s although its owner survived", key, was, is)
+			if moved > 5 {
+				t.Fatal("too many unnecessary remappings; aborting")
+			}
+		}
+	}
+	if owned == 0 {
+		t.Error("departed replica owned no keys; balance test should have caught this")
+	}
+}
+
+func TestIsOwner(t *testing.T) {
+	ms := fiveMembers()
+	rings := map[string]*Ring{}
+	for _, m := range ms {
+		r, err := NewRing(m.ID, ms, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[m.ID] = r
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := 0
+		for id, r := range rings {
+			if r.IsOwner(key) {
+				owners++
+				if id != r.Owner(key).ID {
+					t.Errorf("key %q: IsOwner true on %s but Owner says %s", key, id, r.Owner(key).ID)
+				}
+			}
+		}
+		if owners != 1 {
+			t.Errorf("key %q claimed by %d replicas, want exactly 1", key, owners)
+		}
+	}
+}
+
+// TestSingleMemberRingOwnsEverything: a cluster of one degenerates to the
+// standalone server.
+func TestSingleMemberRingOwnsEverything(t *testing.T) {
+	r, err := NewRing("solo", []Member{{ID: "solo"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !r.IsOwner(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("single-member ring disowned a key")
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Snapshot file format: one JSON header line, then the payload — a JSON
+// array of entries — as raw bytes. The header carries a format version,
+// the entry count and the SHA-256 of the exact payload bytes, so a
+// truncated, corrupted or foreign file is rejected before a single entry
+// is decoded, and a version bump can never be misread as data.
+
+// SnapshotVersion is the current snapshot format version.
+const SnapshotVersion = 1
+
+// snapshotKind guards against feeding an arbitrary JSON file to
+// ReadSnapshot.
+const snapshotKind = "whart-cache-snapshot"
+
+// ErrSnapshotVersion marks a snapshot written by an incompatible format
+// version.
+var ErrSnapshotVersion = errors.New("cluster: snapshot version mismatch")
+
+// ErrSnapshotCorrupt marks a snapshot whose bytes fail validation
+// (malformed header, checksum or count mismatch, undecodable payload).
+var ErrSnapshotCorrupt = errors.New("cluster: snapshot corrupt")
+
+// SnapshotEntry is one cached result: its canonical scenario key and the
+// opaque JSON value the owning layer cached under it. Entry order is
+// preserved by the codec — the engine writes least-recently-used first so
+// a restore replays recency.
+type SnapshotEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// snapshotHeader is the first line of a snapshot file.
+type snapshotHeader struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+	Entries int    `json:"entries"`
+	SHA256  string `json:"sha256"`
+}
+
+// WriteSnapshot writes entries to w in the versioned, checksummed
+// snapshot format.
+func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
+	if entries == nil {
+		entries = []SnapshotEntry{}
+	}
+	payload, err := json.Marshal(entries)
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot payload: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	header, err := json.Marshal(snapshotHeader{
+		Kind:    snapshotKind,
+		Version: SnapshotVersion,
+		Entries: len(entries),
+		SHA256:  hex.EncodeToString(sum[:]),
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot header: %w", err)
+	}
+	if _, err := w.Write(append(header, '\n')); err != nil {
+		return fmt.Errorf("cluster: write snapshot: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("cluster: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot, verifying
+// kind, version and payload checksum before decoding any entry. Version
+// mismatches return an error wrapping ErrSnapshotVersion; any other
+// validation failure wraps ErrSnapshotCorrupt.
+func ReadSnapshot(r io.Reader) ([]SnapshotEntry, error) {
+	br := bufio.NewReader(r)
+	headerLine, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrSnapshotCorrupt, err)
+	}
+	var h snapshotHeader
+	if err := json.Unmarshal(headerLine, &h); err != nil {
+		return nil, fmt.Errorf("%w: bad header: %v", ErrSnapshotCorrupt, err)
+	}
+	if h.Kind != snapshotKind {
+		return nil, fmt.Errorf("%w: kind %q is not %q", ErrSnapshotCorrupt, h.Kind, snapshotKind)
+	}
+	if h.Version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: file version %d, supported %d", ErrSnapshotVersion, h.Version, SnapshotVersion)
+	}
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrSnapshotCorrupt, err)
+	}
+	sum := sha256.Sum256(payload)
+	if got := hex.EncodeToString(sum[:]); got != h.SHA256 {
+		return nil, fmt.Errorf("%w: payload checksum %s does not match header %s", ErrSnapshotCorrupt, got, h.SHA256)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	var entries []SnapshotEntry
+	if err := dec.Decode(&entries); err != nil {
+		return nil, fmt.Errorf("%w: payload entries: %v", ErrSnapshotCorrupt, err)
+	}
+	if len(entries) != h.Entries {
+		return nil, fmt.Errorf("%w: %d entries, header says %d", ErrSnapshotCorrupt, len(entries), h.Entries)
+	}
+	for i, e := range entries {
+		if e.Key == "" {
+			return nil, fmt.Errorf("%w: entry %d has an empty key", ErrSnapshotCorrupt, i)
+		}
+	}
+	return entries, nil
+}

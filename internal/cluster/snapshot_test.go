@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func sampleEntries(n int) []SnapshotEntry {
+	entries := make([]SnapshotEntry, n)
+	for i := range entries {
+		entries[i] = SnapshotEntry{
+			Key:   fmt.Sprintf("key-%d", i),
+			Value: json.RawMessage(fmt.Sprintf(`{"utilization":%d.5,"paths":["n%d"]}`, i, i)),
+		}
+	}
+	return entries
+}
+
+// TestSnapshotRoundTrip is the property test: any entry list survives
+// write -> read with keys, order and value bytes intact.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			in := sampleEntries(n)
+			var buf bytes.Buffer
+			if err := WriteSnapshot(&buf, in); err != nil {
+				t.Fatal(err)
+			}
+			out, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != n {
+				t.Fatalf("%d entries back, want %d", len(out), n)
+			}
+			for i := range in {
+				if out[i].Key != in[i].Key {
+					t.Errorf("entry %d key %q, want %q (order must be preserved)", i, out[i].Key, in[i].Key)
+				}
+				var a, b any
+				if err := json.Unmarshal(in[i].Value, &a); err != nil {
+					t.Fatal(err)
+				}
+				if err := json.Unmarshal(out[i].Value, &b); err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(a) != fmt.Sprint(b) {
+					t.Errorf("entry %d value changed: %s -> %s", i, in[i].Value, out[i].Value)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotNilEntries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("%d entries from a nil snapshot", len(out))
+	}
+}
+
+// TestSnapshotRejectsCorruption flips, truncates and mangles snapshot
+// bytes; every mutation must be rejected with ErrSnapshotCorrupt, never
+// silently decoded.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sampleEntries(5)); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	headerLen := bytes.IndexByte(good, '\n') + 1
+
+	mutate := func(name string, f func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			b := f(append([]byte(nil), good...))
+			_, err := ReadSnapshot(bytes.NewReader(b))
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Errorf("err = %v, want ErrSnapshotCorrupt", err)
+			}
+		})
+	}
+	mutate("payload bit flip", func(b []byte) []byte {
+		b[headerLen+10] ^= 0x40
+		return b
+	})
+	mutate("truncated payload", func(b []byte) []byte { return b[:len(b)-20] })
+	mutate("truncated to header", func(b []byte) []byte { return b[:headerLen] })
+	mutate("empty file", func(b []byte) []byte { return nil })
+	mutate("not json", func(b []byte) []byte { return []byte("hello\nworld") })
+	mutate("wrong kind", func(b []byte) []byte {
+		return bytes.Replace(b, []byte(snapshotKind), []byte("other-snapshot-kind"), 1)
+	})
+	mutate("no trailing payload", func(b []byte) []byte {
+		// A valid header whose payload vanished entirely.
+		return b[:headerLen:headerLen]
+	})
+}
+
+func TestSnapshotRejectsVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sampleEntries(2)); err != nil {
+		t.Fatal(err)
+	}
+	b := strings.Replace(buf.String(), `"version":1`, `"version":99`, 1)
+	_, err := ReadSnapshot(strings.NewReader(b))
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("err = %v, want ErrSnapshotVersion", err)
+	}
+	if errors.Is(err, ErrSnapshotCorrupt) {
+		t.Error("a version mismatch is not corruption")
+	}
+}
+
+func TestSnapshotRejectsCountMismatch(t *testing.T) {
+	// Forge a consistent checksum over a payload whose length disagrees
+	// with the header count: the count check must still fire.
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sampleEntries(3)); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	i := strings.IndexByte(s, '\n')
+	payload := s[i+1:]
+	var h snapshotHeader
+	if err := json.Unmarshal([]byte(s[:i]), &h); err != nil {
+		t.Fatal(err)
+	}
+	h.Entries = 7
+	hb, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadSnapshot(strings.NewReader(string(hb) + "\n" + payload))
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("err = %v, want ErrSnapshotCorrupt on count mismatch", err)
+	}
+}
+
+func TestSnapshotRejectsEmptyKey(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, []SnapshotEntry{{Key: "", Value: json.RawMessage(`1`)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(&buf); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("err = %v, want ErrSnapshotCorrupt for empty key", err)
+	}
+}

@@ -96,6 +96,29 @@ func (e *Engine) EvaluateBatch(ctx context.Context, specs []*spec.Spec) ([]*Resu
 		e.metrics.cacheMisses.Add(1)
 	}
 
+	// In a cluster, residual misses owned by another replica are
+	// forwarded to their owner first; whatever the forward settles is
+	// cached and released exactly like a local solve, and whatever it
+	// cannot settle (owner down, breaker open) degrades into the local
+	// batch below.
+	if e.ring != nil {
+		local := owned[:0]
+		for _, it := range owned {
+			if e.ring.IsOwner(it.key) {
+				local = append(local, it)
+				continue
+			}
+			if res, err := e.forwardSolve(ctx, it.spec, it.key); err == nil {
+				it.res = res
+				e.resolveOwnedForward(it)
+				continue
+			}
+			e.metrics.peerDegradedLocal.Add(1)
+			local = append(local, it)
+		}
+		owned = local
+	}
+
 	if len(owned) > 0 {
 		e.solveOwnedBatch(ctx, owned)
 	}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"wirelesshart/internal/spec"
+)
+
+// PeerSolvePath is the peer protocol's single endpoint: a POST of a
+// peerSolveRequest answered with the owner's Result JSON. Peers always
+// solve locally (EvaluatePeer), so a forward can never cascade.
+const PeerSolvePath = "/v1/peer/solve"
+
+// peerSolveRequest is the peer protocol's wire request: the scenario in
+// its ordinary spec encoding plus the canonical key the sender computed,
+// which the receiver uses to detect ring or canonicalization skew before
+// a wrong-keyed result can be cached anywhere.
+type peerSolveRequest struct {
+	Key      string     `json:"key"`
+	Scenario *spec.Spec `json:"scenario"`
+}
+
+// forwardSolve sends the scenario to the ring owner of key and decodes
+// its result. Every forward is traced ("forward" traces beside the local
+// "solve" ones in /debug/traces) and counted; the caller owns the
+// degraded-local fallback.
+func (e *Engine) forwardSolve(ctx context.Context, s *spec.Spec, key string) (res *Result, err error) {
+	owner := e.ring.Owner(key)
+	e.metrics.peerForwarded.Add(1)
+	tr := e.traces.StartTrace("forward", "key", key, "peer", owner.ID)
+	defer func() {
+		if err != nil {
+			e.metrics.peerForwardErrors.Add(1)
+		}
+		tr.End(err)
+	}()
+
+	body, err := json.Marshal(peerSolveRequest{Key: key, Scenario: s})
+	if err != nil {
+		return nil, fmt.Errorf("engine: peer request: %w", err)
+	}
+	endPost := tr.StartSpan("peer", "peer", owner.ID)
+	data, err := e.peer.Post(ctx, owner, PeerSolvePath, body)
+	endPost()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{}
+	if err := json.Unmarshal(data, out); err != nil {
+		return nil, fmt.Errorf("engine: peer %s: undecodable result: %w", owner.ID, err)
+	}
+	if out.Key != key {
+		return nil, fmt.Errorf("engine: peer %s returned key %s for %s", owner.ID, out.Key, key)
+	}
+	return out, nil
+}
+
+// resolveOwnedForward finishes a batch item that was settled by a
+// forward: the result is cached, the single-flight entry resolved and
+// followers released — the same epilogue solveOwnedBatch performs for
+// locally solved items.
+func (e *Engine) resolveOwnedForward(it *batchItem) {
+	e.mu.Lock()
+	delete(e.inflight, it.key)
+	if it.err == nil && it.res != nil {
+		e.cache.add(it.key, it.res)
+	}
+	e.mu.Unlock()
+	it.owned.res, it.owned.err = it.res, it.err
+	close(it.owned.done)
+}

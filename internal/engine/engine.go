@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"wirelesshart/internal/cluster"
 	"wirelesshart/internal/core"
 	"wirelesshart/internal/link"
 	"wirelesshart/internal/measures"
@@ -43,6 +44,14 @@ type Config struct {
 	// finished solve trace (per-stage timings included) — the slog sink
 	// behind whart-server's -logjson flag.
 	TraceLogger *slog.Logger
+	// Ring, when non-nil, makes the engine one replica of a cluster:
+	// scenario keys the ring assigns to another member are forwarded to
+	// that owner over the peer protocol, with a local solve as the
+	// degraded path when the owner is unreachable (DESIGN.md §15).
+	Ring *cluster.Ring
+	// PeerClient carries forwarded solves to peer replicas. Nil with a
+	// Ring set means a cluster.NewClient with default policies.
+	PeerClient *cluster.Client
 }
 
 // Engine evaluates WirelessHART scenarios concurrently with caching and
@@ -67,6 +76,12 @@ type Engine struct {
 
 	metrics *Metrics
 	traces  *obs.Recorder
+
+	ring *cluster.Ring   // nil when standalone
+	peer *cluster.Client // nil when standalone
+
+	snapMu   sync.Mutex
+	snapshot SnapshotStatus
 }
 
 // call is one in-flight solve; followers wait on done.
@@ -97,6 +112,12 @@ func New(cfg Config) *Engine {
 		structCache: newLRU(cfg.StructCacheSize),
 		metrics:     newMetrics(),
 		traces:      obs.NewRecorder(cfg.TraceCapacity),
+		ring:        cfg.Ring,
+		peer:        cfg.PeerClient,
+		snapshot:    SnapshotStatus{State: SnapshotNone},
+	}
+	if e.ring != nil && e.peer == nil {
+		e.peer = cluster.NewClient(cluster.ClientConfig{})
 	}
 	e.traces.SetLogger(cfg.TraceLogger)
 	// Scrape-time gauges: sizes are read under their caches' locks, so
@@ -237,6 +258,10 @@ func (e *Engine) Registry() *obs.Registry { return e.metrics.reg }
 // data behind /debug/traces.
 func (e *Engine) Traces() *obs.Recorder { return e.traces }
 
+// Ring returns the cluster ring this engine is a replica of, or nil when
+// standalone.
+func (e *Engine) Ring() *cluster.Ring { return e.ring }
+
 // MetricsSnapshot returns a point-in-time copy of all engine metrics.
 func (e *Engine) MetricsSnapshot() Snapshot {
 	s := e.metrics.snapshot()
@@ -256,8 +281,24 @@ func (e *Engine) MetricsSnapshot() Snapshot {
 
 // Evaluate returns the solved scenario, from the cache when possible.
 // Concurrent calls with canonically identical scenarios share one solve.
-// The returned Result is shared: treat it as read-only.
+// In a cluster, keys owned by another replica are forwarded to their
+// owner (degrading to a local solve if it is unreachable); the local
+// cache is always consulted first, so restored snapshots and previously
+// forwarded results are served from any node. The returned Result is
+// shared: treat it as read-only.
 func (e *Engine) Evaluate(ctx context.Context, s *spec.Spec) (*Result, error) {
+	return e.evaluate(ctx, s, true)
+}
+
+// EvaluatePeer is Evaluate with forwarding disabled: the handler behind
+// the peer protocol solves locally no matter what its own ring says, so
+// replicas with momentarily divergent ring configurations can never
+// bounce a request between each other.
+func (e *Engine) EvaluatePeer(ctx context.Context, s *spec.Spec) (*Result, error) {
+	return e.evaluate(ctx, s, false)
+}
+
+func (e *Engine) evaluate(ctx context.Context, s *spec.Spec, forward bool) (*Result, error) {
 	canonStart := time.Now()
 	key, err := Key(s)
 	canonDur := time.Since(canonStart)
@@ -286,7 +327,19 @@ func (e *Engine) Evaluate(ctx context.Context, s *spec.Spec) (*Result, error) {
 	e.mu.Unlock()
 	e.metrics.cacheMisses.Add(1)
 
-	c.res, c.err = e.solve(ctx, s, key, canonStart, canonDur)
+	if forward && e.ring != nil && !e.ring.IsOwner(key) {
+		c.res, c.err = e.forwardSolve(ctx, s, key)
+		if c.err != nil {
+			// Degraded path: the owner is unreachable or answered
+			// garbage. A dead peer must never fail a request, so solve
+			// locally; the result is cached here and served until the
+			// owner returns.
+			e.metrics.peerDegradedLocal.Add(1)
+			c.res, c.err = e.solve(ctx, s, key, canonStart, canonDur)
+		}
+	} else {
+		c.res, c.err = e.solve(ctx, s, key, canonStart, canonDur)
+	}
 	e.mu.Lock()
 	delete(e.inflight, key)
 	if c.err == nil {

@@ -21,7 +21,9 @@ const maxRequestBytes = 1 << 20
 //	POST /v1/network   {"scenario": <spec>}                    aggregate Gamma/U over all sources
 //	POST /v1/batch     {"scenarios": [<spec>, ...]}            many scenarios, one batched solve
 //	POST /v1/predict   {"scenario": <spec>, "candidates": [{"via": "n4", "ebN0": 7}, ...]}
-//	GET  /healthz                                              liveness
+//	POST /v1/peer/solve {"key": "<hex>", "scenario": <spec>}   peer protocol: always solves locally
+//	GET  /healthz                                              liveness: the process accepts requests
+//	GET  /readyz                                               readiness: ring membership + snapshot-load state
 //	GET  /metrics                                              engine counters and latency quantiles (JSON)
 //	GET  /metrics/prom                                         Prometheus text exposition
 //	GET  /debug/traces                                         most recent solve traces with per-stage timings
@@ -32,6 +34,8 @@ func NewHandler(e *Engine, timeout time.Duration) http.Handler {
 	s := &apiServer{eng: e, timeout: timeout, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/readyz", s.readyz)
+	mux.HandleFunc(PeerSolvePath, s.peerSolve)
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.Handle("/metrics/prom", e.Registry().Handler())
 	mux.Handle("/debug/traces", e.Traces().Handler())
@@ -108,6 +112,9 @@ func (s *apiServer) requestContext(r *http.Request) (context.Context, context.Ca
 	return context.WithTimeout(r.Context(), s.timeout)
 }
 
+// healthz is pure liveness: it answers as long as the process serves
+// requests, and says nothing about cluster readiness — restarting a
+// replica because its ring is degraded would only shrink the ring more.
 func (s *apiServer) healthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
@@ -116,6 +123,58 @@ func (s *apiServer) healthz(w http.ResponseWriter, r *http.Request) {
 		"status":        "ok",
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 	})
+}
+
+// readyz is readiness: it reports ring membership and the snapshot-load
+// state so rollout tooling can route traffic to warm, ring-consistent
+// replicas. A standalone engine (no ring) is ready by definition.
+func (s *apiServer) readyz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	body := map[string]any{
+		"ready":    true,
+		"snapshot": s.eng.SnapshotStatus(),
+	}
+	if ring := s.eng.Ring(); ring != nil {
+		body["ring"] = map[string]any{
+			"self":         ring.Self().ID,
+			"members":      ring.Members(),
+			"virtualNodes": ring.VirtualNodes(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// peerSolve is the peer protocol's receiving side: it solves the posted
+// scenario locally (never forwarding again) and rejects requests whose
+// canonical key disagrees with the sender's, so skewed ring or
+// canonicalization versions surface as errors instead of cache poison.
+func (s *apiServer) peerSolve(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req peerSolveRequest
+	if !s.decodeInto(w, r, &req) {
+		return
+	}
+	if req.Scenario == nil {
+		writeErr(w, http.StatusBadRequest, "missing scenario")
+		return
+	}
+	s.eng.Metrics().peerServed.Add(1)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	res, err := s.eng.EvaluatePeer(ctx, req.Scenario)
+	if err != nil {
+		writeEngineErr(w, err)
+		return
+	}
+	if req.Key != "" && req.Key != res.Key {
+		writeErr(w, http.StatusBadRequest, "scenario canonicalizes to %s here, not the requested %s", res.Key, req.Key)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *apiServer) metrics(w http.ResponseWriter, r *http.Request) {

@@ -286,7 +286,7 @@ func TestRequestValidation(t *testing.T) {
 			t.Errorf("GET %s: status %d, want 405", path, resp.StatusCode)
 		}
 	}
-	for _, path := range []string{"/healthz", "/metrics"} {
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
 		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader("{}"))
 		if err != nil {
 			t.Fatal(err)

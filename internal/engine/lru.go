@@ -47,3 +47,14 @@ func (c *lruCache) add(key string, val any) {
 
 // len returns the number of cached entries.
 func (c *lruCache) len() int { return c.order.Len() }
+
+// entries returns the cached entries least-recently-used first, so
+// replaying them through add reproduces the recency order exactly — the
+// snapshot save/restore path depends on this.
+func (c *lruCache) entries() []lruEntry {
+	out := make([]lruEntry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*lruEntry))
+	}
+	return out
+}

@@ -43,6 +43,16 @@ type Metrics struct {
 	batchSolved     *obs.Counter
 	batchSize       *obs.Histogram
 	batchSubSeconds *obs.Histogram
+
+	peerForwarded     *obs.Counter
+	peerForwardErrors *obs.Counter
+	peerServed        *obs.Counter
+	peerDegradedLocal *obs.Counter
+
+	snapshotSaves        *obs.Counter
+	snapshotLoads        *obs.Counter
+	snapshotSavedEntries *obs.Gauge
+	snapshotLoadedEntries *obs.Gauge
 }
 
 func newMetrics() *Metrics {
@@ -68,6 +78,17 @@ func newMetrics() *Metrics {
 		batchSize:      reg.Histogram("whart_engine_batch_size", "Sub-scenarios per batch evaluation.", batchSizeBuckets),
 		batchSubSeconds: reg.Histogram("whart_engine_batch_subscenario_duration_seconds",
 			"Per-sub-scenario solve latency within a batch (the batch's solve wall time amortized over its residual misses).", solveLatencyBuckets),
+
+		peerForwarded:     reg.Counter("whart_engine_peer_forwarded_total", "Solves forwarded to their ring-owner replica."),
+		peerForwardErrors: reg.Counter("whart_engine_peer_forward_errors_total", "Forwarded solves that failed (peer down, breaker open, or bad response)."),
+		peerServed:        reg.Counter("whart_engine_peer_served_total", "Peer-protocol solve requests served for other replicas."),
+		peerDegradedLocal: reg.Counter("whart_engine_peer_degraded_local_total", "Solves of peer-owned keys performed locally because the owner was unreachable."),
+
+		snapshotSaves:        reg.Counter("whart_engine_snapshot_saves_total", "Warm-cache snapshots written."),
+		snapshotLoads:        reg.Counter("whart_engine_snapshot_loads_total", "Warm-cache snapshots restored."),
+		snapshotSavedEntries: reg.Gauge("whart_engine_snapshot_saved_entries", "Entries written by the most recent snapshot save."),
+		snapshotLoadedEntries: reg.Gauge("whart_engine_snapshot_loaded_entries",
+			"Entries restored by the most recent snapshot load."),
 	}
 	reg.GaugeFunc("whart_engine_batch_dedup_ratio",
 		"Cumulative fraction of batch sub-scenarios served without a fresh solve (request dedup, cache, or single-flight).",
@@ -160,6 +181,15 @@ type Snapshot struct {
 	BatchSolved       int64           `json:"batchSolved"`
 	BatchDedupRatio   float64         `json:"batchDedupRatio"`
 	BatchSubSolveTime LatencySnapshot `json:"batchSubSolveTime"`
+
+	PeerForwarded         int64 `json:"peerForwarded"`
+	PeerForwardErrors     int64 `json:"peerForwardErrors"`
+	PeerServed            int64 `json:"peerServed"`
+	PeerDegradedLocal     int64 `json:"peerDegradedLocal"`
+	SnapshotSaves         int64 `json:"snapshotSaves"`
+	SnapshotLoads         int64 `json:"snapshotLoads"`
+	SnapshotSavedEntries  int   `json:"snapshotSavedEntries"`
+	SnapshotLoadedEntries int   `json:"snapshotLoadedEntries"`
 }
 
 func (m *Metrics) snapshot() Snapshot {
@@ -186,6 +216,14 @@ func (m *Metrics) snapshot() Snapshot {
 	s.BatchDeduped = m.batchDeduped.Value()
 	s.BatchSolved = m.batchSolved.Value()
 	s.BatchDedupRatio = m.batchDedupRatio()
+	s.PeerForwarded = m.peerForwarded.Value()
+	s.PeerForwardErrors = m.peerForwardErrors.Value()
+	s.PeerServed = m.peerServed.Value()
+	s.PeerDegradedLocal = m.peerDegradedLocal.Value()
+	s.SnapshotSaves = m.snapshotSaves.Value()
+	s.SnapshotLoads = m.snapshotLoads.Value()
+	s.SnapshotSavedEntries = int(m.snapshotSavedEntries.Value())
+	s.SnapshotLoadedEntries = int(m.snapshotLoadedEntries.Value())
 	s.BatchSubSolveTime.Count = m.batchSubSeconds.Count()
 	if s.BatchSubSolveTime.Count > 0 {
 		s.BatchSubSolveTime.MeanMS = m.batchSubSeconds.Sum() / float64(s.BatchSubSolveTime.Count) * 1000

@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boots a 3-replica whart-server cluster sharing one
+# consistent-hash ring and walks the distributed engine through its whole
+# lifecycle:
+#
+#   1. spread scenarios across replicas and observe peer forwarding
+#      (every miss is solved exactly once, on its ring owner);
+#   2. re-ask every scenario on a *different* replica and require zero new
+#      solves — the cross-replica cache-hit guarantee;
+#   3. SIGTERM one replica and require the survivors to answer everything,
+#      with whart_engine_peer_degraded_local_total proving the dead
+#      owner's keys were solved locally instead of failing;
+#   4. restart the killed replica from its SIGTERM-drain snapshot and
+#      require its cached scenarios to be answered with zero solver
+#      invocations (whart_engine_solves_total stays 0).
+#
+# Everything is deterministic: the ring, the canonical scenario keys and
+# therefore the ownership split are fixed, so this never flakes on
+# placement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT_A=18471
+PORT_B=18472
+PORT_C=18473
+URL_A="http://127.0.0.1:$PORT_A"
+URL_B="http://127.0.0.1:$PORT_B"
+URL_C="http://127.0.0.1:$PORT_C"
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+	for pid in "${PIDS[@]:-}"; do
+		kill "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "cluster smoke: FAIL: $*" >&2
+	exit 1
+}
+
+echo "cluster smoke: building binaries"
+go build -o "$WORK/whart-server" ./cmd/whart-server
+go build -o "$WORK/whart" ./cmd/whart
+
+# start_replica ID PORT PEERS -> appends the pid to PIDS
+start_replica() {
+	local id=$1 port=$2 peers=$3
+	"$WORK/whart-server" -addr "127.0.0.1:$port" -id "$id" -peers "$peers" \
+		-snapshot "$WORK/$id.snap" >>"$WORK/$id.log" 2>&1 &
+	PIDS+=($!)
+}
+
+wait_ready() {
+	local url=$1
+	for _ in $(seq 1 100); do
+		if curl -fsS "$url/readyz" >/dev/null 2>&1; then
+			return 0
+		fi
+		sleep 0.1
+	done
+	fail "$url never became ready"
+}
+
+# metric URL NAME -> prints the counter value (0 when unset)
+metric() {
+	curl -fsS "$1/metrics/prom" | awk -v m="$2" '$1 == m {print $2; found=1} END {if (!found) print 0}'
+}
+
+cluster_metric() {
+	local name=$1 total=0 v
+	for url in "$URL_A" "$URL_B" "$URL_C"; do
+		if v=$(metric "$url" "$name" 2>/dev/null); then
+			total=$((total + v))
+		fi
+	done
+	echo "$total"
+}
+
+# scenario N -> emits the typical spec with reportingInterval N to stdout
+scenario() {
+	sed "s/\"reportingInterval\": 4/\"reportingInterval\": $1/" "$WORK/base.json"
+}
+
+# evaluate URL N -> POST scenario N to URL's /v1/evaluate, require 200
+evaluate() {
+	local url=$1 n=$2 code
+	printf '{"scenario": %s, "source": "n10"}' "$(scenario "$n")" >"$WORK/req.json"
+	code=$(curl -s -o "$WORK/resp.json" -w '%{http_code}' \
+		-X POST --data-binary @"$WORK/req.json" "$url/v1/evaluate")
+	[ "$code" = 200 ] || fail "POST $url/v1/evaluate interval=$n: HTTP $code: $(cat "$WORK/resp.json")"
+}
+
+PEERS_A="b=$URL_B,c=$URL_C"
+PEERS_B="a=$URL_A,c=$URL_C"
+PEERS_C="a=$URL_A,b=$URL_B"
+
+echo "cluster smoke: starting replicas a, b, c"
+start_replica a "$PORT_A" "$PEERS_A"
+start_replica b "$PORT_B" "$PEERS_B"
+start_replica c "$PORT_C" "$PEERS_C"
+wait_ready "$URL_A"; wait_ready "$URL_B"; wait_ready "$URL_C"
+
+ring_self=$(curl -fsS "$URL_C/readyz" | jq -r '.ring.self')
+ring_size=$(curl -fsS "$URL_C/readyz" | jq '.ring.members | length')
+[ "$ring_self" = "c" ] && [ "$ring_size" = 3 ] || fail "readyz ring: self=$ring_self members=$ring_size"
+
+"$WORK/whart" -typical -emit-spec >"$WORK/base.json"
+
+echo "cluster smoke: phase 1 - spreading 9 scenarios across the replicas"
+urls=("$URL_A" "$URL_B" "$URL_C")
+for n in $(seq 1 9); do
+	evaluate "${urls[$((n % 3))]}" "$n"
+done
+solves=$(cluster_metric whart_engine_solves_total)
+forwarded=$(cluster_metric whart_engine_peer_forwarded_total)
+served=$(cluster_metric whart_engine_peer_served_total)
+[ "$solves" = 9 ] || fail "phase 1: cluster solved $solves scenarios, want exactly 9"
+[ "$forwarded" -gt 0 ] || fail "phase 1: no solve was forwarded to its ring owner"
+[ "$served" -gt 0 ] || fail "phase 1: no replica served a peer solve"
+echo "cluster smoke: phase 1 ok ($solves solves, $forwarded forwarded, $served peer-served)"
+
+echo "cluster smoke: phase 2 - same scenarios via different replicas"
+for n in $(seq 1 9); do
+	evaluate "${urls[$(((n + 1) % 3))]}" "$n"
+done
+solves2=$(cluster_metric whart_engine_solves_total)
+hits=$(cluster_metric whart_engine_cache_hits_total)
+[ "$solves2" = "$solves" ] || fail "phase 2: solves grew $solves -> $solves2; cross-replica cache missed"
+[ "$hits" -gt 0 ] || fail "phase 2: no cache hits recorded anywhere"
+echo "cluster smoke: phase 2 ok (still $solves2 solves, $hits cache hits cluster-wide)"
+
+echo "cluster smoke: phase 3 - SIGTERM replica c, survivors keep answering"
+kill -TERM "${PIDS[2]}"
+wait "${PIDS[2]}" 2>/dev/null || true
+[ -s "$WORK/c.snap" ] || fail "phase 3: replica c wrote no snapshot on drain"
+degraded_before=$(( $(metric "$URL_A" whart_engine_peer_degraded_local_total) \
+	+ $(metric "$URL_B" whart_engine_peer_degraded_local_total) ))
+for n in $(seq 10 21); do
+	evaluate "${urls[$((n % 2))]}" "$n"
+done
+degraded_after=$(( $(metric "$URL_A" whart_engine_peer_degraded_local_total) \
+	+ $(metric "$URL_B" whart_engine_peer_degraded_local_total) ))
+[ "$degraded_after" -gt "$degraded_before" ] || \
+	fail "phase 3: no degraded-local solve despite c being down (before=$degraded_before after=$degraded_after)"
+echo "cluster smoke: phase 3 ok (survivors answered 12 scenarios, $((degraded_after - degraded_before)) degraded-local)"
+
+echo "cluster smoke: phase 4 - restart c from its snapshot"
+start_replica c "$PORT_C" "$PEERS_C"
+wait_ready "$URL_C"
+snap_state=$(curl -fsS "$URL_C/readyz" | jq -r '.snapshot.state')
+snap_entries=$(curl -fsS "$URL_C/readyz" | jq '.snapshot.entries')
+[ "$snap_state" = loaded ] || fail "phase 4: snapshot state $snap_state, want loaded"
+[ "$snap_entries" -gt 0 ] || fail "phase 4: snapshot restored 0 entries"
+# Scenarios c had cached when it was killed (asked directly in phases 1-2)
+# must be answered from the restored cache with zero solver invocations.
+for n in 1 2 4 5 7 8; do
+	evaluate "$URL_C" "$n"
+done
+c_solves=$(metric "$URL_C" whart_engine_solves_total)
+c_hits=$(metric "$URL_C" whart_engine_cache_hits_total)
+c_loads=$(metric "$URL_C" whart_engine_snapshot_loads_total)
+[ "$c_solves" = 0 ] || fail "phase 4: restarted replica solved $c_solves scenarios, want 0 (cache was warm)"
+[ "$c_hits" = 6 ] || fail "phase 4: restarted replica served $c_hits cache hits, want 6"
+[ "$c_loads" = 1 ] || fail "phase 4: snapshot_loads_total=$c_loads, want 1"
+echo "cluster smoke: phase 4 ok ($snap_entries entries restored, 6 hits, 0 solves)"
+
+echo "cluster smoke: batch across replicas"
+{
+	printf '{"scenarios": ['
+	scenario 22
+	printf ','
+	scenario 23
+	printf ','
+	scenario 1
+	printf ']}'
+} >"$WORK/req.json"
+code=$(curl -s -o "$WORK/resp.json" -w '%{http_code}' \
+	-X POST --data-binary @"$WORK/req.json" "$URL_C/v1/batch")
+[ "$code" = 200 ] || fail "POST /v1/batch: HTTP $code: $(cat "$WORK/resp.json")"
+jq -e '.results | length == 3' "$WORK/resp.json" >/dev/null || fail "batch returned wrong shape"
+
+echo "cluster smoke: PASS"

@@ -45,6 +45,11 @@ var allowedImports = map[string][]string{
 	"internal/topology": {},
 	"internal/obs":      {},
 	"internal/control":  {},
+	// cluster is the distribution leaf: consistent-hash ring, peer HTTP
+	// client and the snapshot codec. It moves canonical keys and opaque
+	// JSON, never engine types, so it needs no first-party imports — and
+	// must never grow one upward into the engine.
+	"internal/cluster": {},
 
 	"internal/dtmc":     {"internal/linalg"},
 	"internal/schedule": {"internal/topology"},
@@ -59,7 +64,7 @@ var allowedImports = map[string][]string{
 	"internal/core": {"internal/link", "internal/measures", "internal/pathmodel", "internal/schedule", "internal/stats", "internal/topology"},
 	"internal/spec": {"internal/channel", "internal/core", "internal/link", "internal/schedule", "internal/topology"},
 
-	"internal/engine": {"internal/core", "internal/link", "internal/measures", "internal/obs", "internal/pathmodel", "internal/spec"},
+	"internal/engine": {"internal/cluster", "internal/core", "internal/link", "internal/measures", "internal/obs", "internal/pathmodel", "internal/spec"},
 
 	// The topology generator sits beside spec: it emits specs and realizes
 	// them, but never sees the engine — fleets own orchestration.

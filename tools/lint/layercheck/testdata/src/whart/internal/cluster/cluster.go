@@ -1,0 +1,7 @@
+// cluster is a stdlib-only leaf: it ships keys and opaque JSON between
+// replicas and must never reach up into the engine.
+package cluster
+
+import (
+	_ "wirelesshart/internal/engine" // want `import of wirelesshart/internal/engine: not a registered edge of the internal/cluster layer`
+)

@@ -58,6 +58,15 @@ var checked = map[string]bool{
 	"wirelesshart/internal/channel.PartitionSNRTrace":            true,
 	"(*wirelesshart/internal/spec.Spec).ResolveLinkProcess":      true,
 	"(*wirelesshart/internal/pathmodel.Structure).BindProcesses": true,
+
+	// Cluster surface: a dropped NewRing error leaves a replica routing on
+	// a nil or half-validated ring, and a dropped snapshot error either
+	// loses the warm cache (save) or hides a rejected restore (load).
+	"wirelesshart/internal/cluster.NewRing":               true,
+	"wirelesshart/internal/cluster.WriteSnapshot":         true,
+	"wirelesshart/internal/cluster.ReadSnapshot":          true,
+	"(*wirelesshart/internal/engine.Engine).SaveSnapshot": true,
+	"(*wirelesshart/internal/engine.Engine).LoadSnapshot": true,
 }
 
 func run(pass *analysis.Pass) error {

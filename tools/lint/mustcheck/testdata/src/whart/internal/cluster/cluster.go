@@ -1,0 +1,36 @@
+// Stub of the real internal/cluster surface mustcheck watches.
+package cluster
+
+import "io"
+
+// Member is one ring replica stub.
+type Member struct {
+	ID, URL string
+}
+
+// Ring is the consistent-hash ring stub.
+type Ring struct{}
+
+// NewRing mirrors the validating ring constructor.
+func NewRing(selfID string, members []Member, vnodes int) (*Ring, error) {
+	_, _, _ = selfID, members, vnodes
+	return &Ring{}, nil
+}
+
+// SnapshotEntry is one cached result stub.
+type SnapshotEntry struct {
+	Key   string
+	Value []byte
+}
+
+// WriteSnapshot mirrors the snapshot encoder.
+func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
+	_, _ = w, entries
+	return nil
+}
+
+// ReadSnapshot mirrors the validating snapshot decoder.
+func ReadSnapshot(r io.Reader) ([]SnapshotEntry, error) {
+	_ = r
+	return nil, nil
+}

@@ -1,7 +1,9 @@
 package m
 
 import (
+	"wirelesshart/internal/cluster"
 	"wirelesshart/internal/dtmc"
+	"wirelesshart/internal/engine"
 	"wirelesshart/internal/link"
 	"wirelesshart/internal/pathmodel"
 )
@@ -32,6 +34,16 @@ func bad() {
 	link.NewUniformMixing(0.9, nil)   // want `result of NewUniformMixing discarded; it must be checked`
 	ks, _ := link.NewKState(nil, nil) // want `error result of NewKState assigned to blank identifier`
 	ks.MarginalFrom(nil)              // want `result of MarginalFrom discarded; it must be checked`
+
+	cluster.NewRing("a", nil, 0)            // want `result of NewRing discarded; it must be checked`
+	ring, _ := cluster.NewRing("a", nil, 0) // want `error result of NewRing assigned to blank identifier`
+	_ = ring
+	cluster.WriteSnapshot(nil, nil) // want `result of WriteSnapshot discarded; it must be checked`
+	cluster.ReadSnapshot(nil)       // want `result of ReadSnapshot discarded; it must be checked`
+	var eng engine.Engine
+	eng.SaveSnapshot(nil)        // want `result of SaveSnapshot discarded; it must be checked`
+	eng.LoadSnapshot(nil)        // want `result of LoadSnapshot discarded; it must be checked`
+	_, _ = eng.LoadSnapshot(nil) // want `error result of LoadSnapshot assigned to blank identifier`
 
 	go c.Validate(1e-9)    // want `result of Validate discarded by go statement`
 	defer c.Validate(1e-9) // want `result of Validate discarded by defer statement`
