@@ -4,7 +4,7 @@ GO ?= go
 COVER_PKGS = ./internal/dtmc ./internal/pathmodel ./internal/core ./internal/obs ./internal/link ./internal/channel ./internal/cluster
 COVER_MIN  = 85
 
-.PHONY: all build test race vet lint bench cover fleet-smoke cluster-smoke clean
+.PHONY: all build test race vet lint lint-selftest sarif bench cover fleet-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -26,9 +26,12 @@ vet:
 	$(GO) -C tools/lint vet ./...
 
 # Mirrors the CI lint job: vet, the repo's own analyzer suite (layercheck,
-# probfloat, mustcheck, exhaustenum — see DESIGN.md §11) over both modules,
-# and staticcheck when it is installed (CI pins and installs it).
-lint: vet
+# probfloat, mustcheck, exhaustenum, detrange, locksafe, goleak — see
+# DESIGN.md §11 and §16) over both modules plus the seeded-violation
+# selftest, and staticcheck when it is installed (CI pins and installs
+# it). whart-lint also fails on stale //whartlint:ignore directives, so
+# suppressions cannot outlive their findings.
+lint: vet lint-selftest
 	$(GO) -C tools/lint run ./cmd/whart-lint -dir $(CURDIR) ./...
 	$(GO) -C tools/lint run ./cmd/whart-lint -dir $(CURDIR)/tools/lint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -36,6 +39,23 @@ lint: vet
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# Canary for the lint wiring: whart-lint must FAIL (exit 1 with a
+# detrange finding) on the deliberately broken fixture module. If this
+# target passes, the map-order float-accumulation bug class (PR 6) is
+# still being caught end to end.
+lint-selftest:
+	@out=$$($(GO) -C tools/lint run ./cmd/whart-lint -dir $(CURDIR)/tools/lint/selftest/seeded ./... 2>&1); status=$$?; \
+	if [ $$status -ne 1 ]; then \
+		echo "lint selftest: expected exit 1 on seeded fixture, got $$status"; echo "$$out"; exit 1; \
+	fi; \
+	echo "$$out" | grep -q "(detrange)" || { echo "lint selftest: no detrange finding:"; echo "$$out"; exit 1; }; \
+	echo "lint selftest: seeded detrange violation caught"
+
+# SARIF 2.1.0 reports for GitHub code scanning (CI uploads these).
+sarif:
+	$(GO) -C tools/lint run ./cmd/whart-lint -dir $(CURDIR) -format=sarif -o $(CURDIR)/whart-lint.sarif ./... || true
+	$(GO) -C tools/lint run ./cmd/whart-lint -dir $(CURDIR)/tools/lint -format=sarif -o $(CURDIR)/whart-lint-tools.sarif ./... || true
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

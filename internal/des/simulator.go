@@ -166,6 +166,9 @@ func Run(cfg Config) (*Result, error) {
 				reporting = append(reporting, src)
 			}
 		}
+		// Canonical source order: the simulator consumes RNG draws per
+		// source, so map order would change the sample path per run.
+		sort.Slice(reporting, func(i, j int) bool { return reporting[i] < reporting[j] })
 	}
 	if len(reporting) == 0 {
 		return nil, errors.New("des: no reporting sources")

@@ -2,6 +2,7 @@ package des
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"wirelesshart/internal/link"
@@ -422,5 +423,57 @@ func TestPathBySourceMissing(t *testing.T) {
 	r := &Result{}
 	if _, ok := r.PathBySource(5); ok {
 		t.Error("missing source should report false")
+	}
+}
+
+// starNetwork builds several one-hop sources reporting straight to G.
+func starNetwork(t *testing.T, sources, fup int) (*topology.Network, *schedule.Schedule) {
+	t.Helper()
+	net := topology.NewNetwork()
+	gw, err := net.AddNode("G", topology.Gateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= sources; i++ {
+		id, err := net.AddNode(nodeName(i), topology.FieldDevice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.AddLink(id, gw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	routes, err := net.UplinkRoutes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.BuildPriority(routes, schedule.ShortestFirst(routes), fup-sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, s
+}
+
+// With Sources nil the reporting list is derived from the routes map; it
+// must come out in a canonical order, or the per-source RNG consumption
+// (and so the whole sample path) would differ between identically-seeded
+// runs.
+func TestRunNilSourcesDeterministic(t *testing.T) {
+	net, s := starNetwork(t, 6, 8)
+	run := func() *Result {
+		res, err := Run(Config{
+			Net: net, Sched: s, Is: 3, Intervals: 100, Seed: 7,
+			Fdown: -1, Links: gilbertLinks(t, net, 0.8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run()
+	for trial := 0; trial < 5; trial++ {
+		if got := run(); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("trial %d: identically-seeded runs differ", trial)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package dtmc
 
 import (
 	"fmt"
+	"sort"
 
 	"wirelesshart/internal/linalg"
 )
@@ -38,9 +39,17 @@ func (c *Chain) BoundedReachability(start int, goals []int, t0, k int) (float64,
 	}
 	kern := c.Compile()
 	next := linalg.NewVector(len(c.names))
+	// Absorb in sorted goal order: float addition is not associative, so
+	// summing in map order would leak iteration randomness into the low
+	// bits of the result.
+	sorted := make([]int, 0, len(goalSet))
+	for g := range goalSet {
+		sorted = append(sorted, g)
+	}
+	sort.Ints(sorted)
 	var reached float64
 	absorb := func() {
-		for g := range goalSet {
+		for _, g := range sorted {
 			reached += p[g]
 			p[g] = 0
 		}

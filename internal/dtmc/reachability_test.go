@@ -104,3 +104,55 @@ func TestBoundedReachabilityErrors(t *testing.T) {
 		t.Error("negative bound should error")
 	}
 }
+
+// BoundedReachability absorbs goal mass by float addition, which is not
+// associative: the sum must be taken in sorted goal order, never in map
+// order, so identical inputs give bit-identical results.
+func TestBoundedReachabilityGoalOrderInvariant(t *testing.T) {
+	c := New()
+	start := c.MustAddState("start")
+	goals := make([]int, 12)
+	total := 0.0
+	probs := make([]float64, len(goals))
+	for i := range goals {
+		goals[i] = c.MustAddState("g" + string(rune('a'+i)))
+		probs[i] = 1 / float64(13+7*i)
+		total += probs[i]
+	}
+	for i, g := range goals {
+		if err := c.AddTransition(start, g, probs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.MarkAbsorbing(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddTransition(start, start, 1-total); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := c.BoundedReachability(start, goals, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := make([]int, len(goals))
+	for i, g := range goals {
+		reversed[len(goals)-1-i] = g
+	}
+	for trial := 0; trial < 20; trial++ {
+		again, err := c.BoundedReachability(start, goals, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != ref {
+			t.Fatalf("trial %d: repeated call differs: %v != %v", trial, again, ref)
+		}
+		rev, err := c.BoundedReachability(start, reversed, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rev != ref {
+			t.Fatalf("trial %d: reversed goal order differs: %v != %v", trial, rev, ref)
+		}
+	}
+}

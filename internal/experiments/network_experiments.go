@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"io"
+	"sort"
 
 	"wirelesshart/internal/core"
 	"wirelesshart/internal/link"
@@ -345,7 +346,12 @@ func ComputeTab3() ([]Tab3Row, error) {
 			blockedLinks[lid] = true
 		}
 	}
+	blockedIDs := make([]topology.LinkID, 0, len(blockedLinks))
 	for lid := range blockedLinks {
+		blockedIDs = append(blockedIDs, lid)
+	}
+	sort.Slice(blockedIDs, func(i, j int) bool { return blockedIDs[i] < blockedIDs[j] })
+	for _, lid := range blockedIDs {
 		av, err := link.Blocked(lm.Steady(), 1, fup+1)
 		if err != nil {
 			return nil, err

@@ -150,11 +150,7 @@ func (s *Schedule) UsedSlots() int {
 // dedicated slot, and the hops must be scheduled in causal order within the
 // frame (so a fresh message can traverse the whole path in one cycle).
 func (s *Schedule) Validate(n *topology.Network, routes map[topology.NodeID]topology.Path) error {
-	sources := make([]topology.NodeID, 0, len(routes))
-	for src := range routes {
-		sources = append(sources, src)
-	}
-	return s.ValidateSources(n, routes, sources)
+	return s.ValidateSources(n, routes, topology.SortedSources(routes))
 }
 
 // ValidateSources is Validate restricted to the given reporting sources:

@@ -264,3 +264,22 @@ func TestTransmissionsOrdered(t *testing.T) {
 		}
 	}
 }
+
+// Validate derives its source list from the routes map; the list must be
+// sorted so the FIRST violation reported (and thus the error message) is
+// the same on every run, not whichever source the map yields first.
+func TestValidateErrorDeterministic(t *testing.T) {
+	n, _, routes := typical(t)
+	s, _ := New(5) // no dedicated slots: every source violates
+	first, want := s.Validate(n, routes), ""
+	if first == nil {
+		t.Fatal("empty schedule must fail validation")
+	}
+	want = first.Error()
+	for trial := 0; trial < 30; trial++ {
+		err := s.Validate(n, routes)
+		if err == nil || err.Error() != want {
+			t.Fatalf("trial %d: error changed: %v, want %q", trial, err, want)
+		}
+	}
+}

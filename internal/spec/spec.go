@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"wirelesshart/internal/channel"
 	"wirelesshart/internal/core"
@@ -259,11 +260,23 @@ func (s *Spec) BuildWith(extra ...core.Option) (*Built, error) {
 		return nil, err
 	}
 	opts = append(opts, core.WithUniformLinkModel(def))
-	for lid, p := range linkProcs {
-		opts = append(opts, core.WithLinkProcess(lid, p))
+	// Options in sorted link order: the option list feeds the analyzer
+	// construction and cache keys, so map order would differ between runs.
+	procIDs := make([]topology.LinkID, 0, len(linkProcs))
+	for lid := range linkProcs {
+		procIDs = append(procIDs, lid)
 	}
-	for lid, av := range injections {
-		opts = append(opts, core.WithLinkAvailability(lid, av))
+	sort.Slice(procIDs, func(i, j int) bool { return procIDs[i] < procIDs[j] })
+	for _, lid := range procIDs {
+		opts = append(opts, core.WithLinkProcess(lid, linkProcs[lid]))
+	}
+	injIDs := make([]topology.LinkID, 0, len(injections))
+	for lid := range injections {
+		injIDs = append(injIDs, lid)
+	}
+	sort.Slice(injIDs, func(i, j int) bool { return injIDs[i] < injIDs[j] })
+	for _, lid := range injIDs {
+		opts = append(opts, core.WithLinkAvailability(lid, injections[lid]))
 	}
 	opts = append(opts, extra...)
 	an, err := core.New(net, sched, opts...)

@@ -3,6 +3,7 @@ package topology
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -167,7 +168,7 @@ func PathsSharedByLink(routes map[NodeID]Path, id LinkID) []NodeID {
 			out = append(out, src)
 		}
 	}
-	sortNodeIDs(out)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -180,16 +181,8 @@ func SortedSources(routes map[NodeID]Path) []NodeID {
 	for src := range routes {
 		out = append(out, src)
 	}
-	sortNodeIDs(out)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-func sortNodeIDs(ids []NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
 }
 
 // MaxHops is the official guideline's limit on the distance from any node

@@ -8,12 +8,21 @@
 // Unlike the x/tools harness, testdata is a self-contained Go module
 // (testdata/src/<case>/go.mod) rather than a GOPATH tree, because packages
 // are loaded through the go tool in module mode.
+//
+// Analyzers that watch the real wirelesshart API surface share one stub
+// rendition of that module (stubs/whart); RunWithStubs materializes a
+// temporary module from the shared stubs plus the analyzer's own case
+// packages so each analyzer's testdata carries only its cases.
 package analysistest
 
 import (
 	"go/ast"
 	"go/token"
+	"io"
+	"os"
+	"path/filepath"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,7 +40,8 @@ type expectation struct {
 
 // Run loads the module rooted at dir, applies the analyzer to the packages
 // matched by patterns (default ./...), and compares the diagnostics with
-// the // want comments in the sources.
+// the // want comments in the sources. Suppression directives that silence
+// nothing are test failures too: goldens must not accumulate stale ignores.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
 	pkgs, err := load.Load(load.Config{Dir: dir}, patterns...)
@@ -41,7 +51,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	if len(pkgs) == 0 {
 		t.Fatalf("loading %s: no packages matched", dir)
 	}
-	diags, err := runner.Run(pkgs, []*analysis.Analyzer{a})
+	res, err := runner.Run(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -53,7 +63,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 		}
 	}
 
-	for _, d := range diags {
+	for _, d := range res.Diagnostics {
 		exps := want[d.Position.Filename][d.Position.Line]
 		found := false
 		for _, e := range exps {
@@ -76,6 +86,67 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 			}
 		}
 	}
+	for _, d := range res.Stale([]*analysis.Analyzer{a}) {
+		t.Errorf("%s: stale suppression %s %s silences nothing",
+			d.Position, runner.SuppressPrefix, strings.Join(d.Names, ","))
+	}
+}
+
+// RunWithStubs materializes a temporary wirelesshart module from the
+// shared stub tree (stubs/whart) overlaid with the case packages under
+// caseDir, then runs the analyzer over it like Run. Case files may import
+// any wirelesshart/internal/... package stubbed there; overlay files win
+// on path collisions so a case can replace a stub wholesale if it must.
+func RunWithStubs(t *testing.T, caseDir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("analysistest: cannot locate shared stub tree")
+	}
+	stubs := filepath.Join(filepath.Dir(self), "stubs", "whart")
+	mod := t.TempDir()
+	if err := copyTree(stubs, mod); err != nil {
+		t.Fatalf("copying shared stubs: %v", err)
+	}
+	if err := copyTree(caseDir, mod); err != nil {
+		t.Fatalf("overlaying %s: %v", caseDir, err)
+	}
+	Run(t, mod, a, patterns...)
+}
+
+// copyTree copies every regular file under src into dst, keeping relative
+// paths and overwriting existing files.
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
 }
 
 // collectWants gathers the expectations of one file: every comment of the

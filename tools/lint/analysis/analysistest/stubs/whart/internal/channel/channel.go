@@ -1,0 +1,17 @@
+// Stub of the real internal/channel surface the analyzers watch.
+package channel
+
+// SNRPartition mirrors the trace-partition result stub.
+type SNRPartition struct{}
+
+// PartitionSNRTrace mirrors the SNR thresholding fit.
+func PartitionSNRTrace(trace []float64, k int) (SNRPartition, error) {
+	_, _ = trace, k
+	return SNRPartition{}, nil
+}
+
+// BERFromFailureProb mirrors the real pfl parameter.
+func BERFromFailureProb(pfl float64, bits int) (float64, error) {
+	_, _ = pfl, bits
+	return 0, nil
+}

@@ -1,0 +1,48 @@
+// Stub of the real internal/cluster surface the analyzers watch.
+package cluster
+
+import (
+	"context"
+	"io"
+)
+
+// Member is one ring replica stub.
+type Member struct {
+	ID, URL string
+}
+
+// Ring is the consistent-hash ring stub.
+type Ring struct{}
+
+// NewRing mirrors the validating ring constructor.
+func NewRing(selfID string, members []Member, vnodes int) (*Ring, error) {
+	_, _, _ = selfID, members, vnodes
+	return &Ring{}, nil
+}
+
+// SnapshotEntry is one cached result stub.
+type SnapshotEntry struct {
+	Key   string
+	Value []byte
+}
+
+// WriteSnapshot mirrors the snapshot encoder.
+func WriteSnapshot(w io.Writer, entries []SnapshotEntry) error {
+	_, _ = w, entries
+	return nil
+}
+
+// ReadSnapshot mirrors the validating snapshot decoder.
+func ReadSnapshot(r io.Reader) ([]SnapshotEntry, error) {
+	_ = r
+	return nil, nil
+}
+
+// Client is the peer-forwarding HTTP client stub.
+type Client struct{}
+
+// Post mirrors the retrying peer POST.
+func (c *Client) Post(ctx context.Context, peer Member, path string, body []byte) ([]byte, error) {
+	_, _, _, _ = ctx, peer, path, body
+	return nil, nil
+}

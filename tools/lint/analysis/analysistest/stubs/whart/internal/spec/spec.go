@@ -1,0 +1,16 @@
+// Stub of the real internal/spec surface the analyzers watch.
+package spec
+
+import "wirelesshart/internal/link"
+
+// Spec is the scenario specification stub.
+type Spec struct{}
+
+// Link is one link entry stub.
+type Link struct{}
+
+// ResolveLinkProcess mirrors the fading-aware link resolution.
+func (s *Spec) ResolveLinkProcess(l Link) (link.Process, error) {
+	_ = l
+	return nil, nil
+}

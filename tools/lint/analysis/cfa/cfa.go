@@ -1,0 +1,443 @@
+// Package cfa builds lightweight intra-procedural control-flow graphs
+// over go/ast function bodies, the shared dataflow substrate under the
+// detrange, locksafe and goleak analyzers (DESIGN.md §16).
+//
+// The graph is deliberately small: basic blocks hold "atomic" nodes
+// (simple statements and the header expressions of control statements)
+// and control structure lives entirely in the Succs edges. Composite
+// statements are decomposed — an if contributes its Init and Cond to the
+// current block and branch edges to its arms, a for loop contributes a
+// head block with its Cond and a back edge, a select contributes the
+// SelectStmt node itself as a header marker plus one block per clause.
+// Function literals are NOT descended into: a FuncLit appearing in an
+// atom runs on its own goroutine of control, so analyzers build a
+// separate Graph for each literal they care about.
+//
+// Known approximations, chosen for a linter (low noise over soundness):
+// goto is treated like return (the path ends), and panics/runtime exits
+// are not modeled.
+package cfa
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal single-entry run of atomic nodes.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order;
+	// Entry is 0).
+	Index int
+	// Nodes holds the block's atomic nodes in execution order. Composite
+	// statements appear only through their headers: the Cond of an if or
+	// for, the RangeStmt of a range loop (inspect X/Key/Value only — its
+	// Body belongs to successor blocks), the Tag of a switch, the
+	// SelectStmt of a select (a blocking marker — its clause bodies
+	// belong to successor blocks).
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters at.
+	Entry *Block
+	// Exit is the synthetic block every return (and the final
+	// fall-off-the-end) reaches; it holds no nodes.
+	Exit *Block
+	// Blocks lists every block in creation order.
+	Blocks []*Block
+
+	// Defers holds every DeferStmt of the body (outside nested function
+	// literals), in source order. Deferred calls run at Exit; they are
+	// collected here rather than appended to Exit so analyzers can apply
+	// defer semantics explicitly.
+	Defers []*ast.DeferStmt
+
+	nodeBlock map[ast.Node]*Block
+}
+
+// BlockOf returns the block whose Nodes contain n, or nil if n is not an
+// atom of this graph.
+func (g *Graph) BlockOf(n ast.Node) *Block { return g.nodeBlock[n] }
+
+// Reachable reports whether to is reachable from from by following Succs
+// edges (a block reaches itself only through a cycle).
+func (g *Graph) Reachable(from, to *Block) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	seen := make([]bool, len(g.Blocks))
+	work := []*Block{from}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}
+
+// New builds the graph of one function body. A nil body (declaration
+// without a definition) yields a graph whose Entry falls straight to
+// Exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{nodeBlock: make(map[ast.Node]*Block)}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	cur := g.Entry
+	if body != nil {
+		cur = b.stmtList(body.List, cur)
+	}
+	if cur != nil {
+		b.edge(cur, g.Exit)
+	}
+	return g
+}
+
+// scope is one enclosing breakable/continuable statement.
+type scope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select scopes
+}
+
+type builder struct {
+	g      *Graph
+	scopes []scope
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) atom(blk *Block, n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk.Nodes = append(blk.Nodes, n)
+	b.g.nodeBlock[n] = blk
+}
+
+// stmtList threads list through cur and returns the block where control
+// continues afterwards, or nil when every path terminated (return, goto,
+// unlabeled terminal branch).
+func (b *builder) stmtList(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable trailing code still gets blocks so its atoms
+			// exist in the graph, but nothing points at them.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.LabeledStmt:
+		return b.labeled(s, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		b.atom(cur, s.Cond)
+		after := b.newBlock()
+		thenEntry := b.newBlock()
+		b.edge(cur, thenEntry)
+		if thenExit := b.stmtList(s.Body.List, thenEntry); thenExit != nil {
+			b.edge(thenExit, after)
+		}
+		if s.Else != nil {
+			elseEntry := b.newBlock()
+			b.edge(cur, elseEntry)
+			if elseExit := b.stmt(s.Else, elseEntry); elseExit != nil {
+				b.edge(elseExit, after)
+			}
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		return b.forLoop(s, cur, "")
+
+	case *ast.RangeStmt:
+		return b.rangeLoop(s, cur, "")
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		b.atom(cur, s.Tag)
+		return b.caseClauses(s.Body.List, cur, "")
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		b.atom(cur, s.Assign)
+		return b.caseClauses(s.Body.List, cur, "")
+
+	case *ast.SelectStmt:
+		return b.selectStmt(s, cur, "")
+
+	case *ast.ReturnStmt:
+		b.atom(cur, s)
+		b.edge(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(s, cur)
+
+	case *ast.DeferStmt:
+		b.atom(cur, s)
+		b.g.Defers = append(b.g.Defers, s)
+		return cur
+
+	case *ast.EmptyStmt:
+		return cur
+
+	default:
+		// Simple statements: assignments, declarations, expression
+		// statements, go statements, sends, inc/dec.
+		b.atom(cur, s)
+		return cur
+	}
+}
+
+// labeled threads a labeled statement; loops and switches consume the
+// label as a break/continue target, anything else just falls through
+// (goto targets are not modeled).
+func (b *builder) labeled(s *ast.LabeledStmt, cur *Block) *Block {
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		return b.forLoop(inner, cur, s.Label.Name)
+	case *ast.RangeStmt:
+		return b.rangeLoop(inner, cur, s.Label.Name)
+	case *ast.SwitchStmt:
+		if inner.Init != nil {
+			cur = b.stmt(inner.Init, cur)
+		}
+		b.atom(cur, inner.Tag)
+		return b.caseClauses(inner.Body.List, cur, s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		if inner.Init != nil {
+			cur = b.stmt(inner.Init, cur)
+		}
+		b.atom(cur, inner.Assign)
+		return b.caseClauses(inner.Body.List, cur, s.Label.Name)
+	case *ast.SelectStmt:
+		return b.selectStmt(inner, cur, s.Label.Name)
+	default:
+		return b.stmt(s.Stmt, cur)
+	}
+}
+
+func (b *builder) forLoop(s *ast.ForStmt, cur *Block, label string) *Block {
+	if s.Init != nil {
+		cur = b.stmt(s.Init, cur)
+	}
+	head := b.newBlock()
+	b.edge(cur, head)
+	b.atom(head, s.Cond)
+	after := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+		postExit := b.stmt(s.Post, post)
+		b.edge(postExit, head)
+	}
+	bodyEntry := b.newBlock()
+	b.edge(head, bodyEntry)
+	b.scopes = append(b.scopes, scope{label: label, breakTo: after, continueTo: post})
+	bodyExit := b.stmtList(s.Body.List, bodyEntry)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	if bodyExit != nil {
+		b.edge(bodyExit, post)
+	}
+	return after
+}
+
+func (b *builder) rangeLoop(s *ast.RangeStmt, cur *Block, label string) *Block {
+	head := b.newBlock()
+	b.edge(cur, head)
+	// The RangeStmt itself is the head atom: analyzers inspect its
+	// X/Key/Value but must not descend into Body from here.
+	b.atom(head, s)
+	after := b.newBlock()
+	b.edge(head, after)
+	bodyEntry := b.newBlock()
+	b.edge(head, bodyEntry)
+	b.scopes = append(b.scopes, scope{label: label, breakTo: after, continueTo: head})
+	bodyExit := b.stmtList(s.Body.List, bodyEntry)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	if bodyExit != nil {
+		b.edge(bodyExit, head)
+	}
+	return after
+}
+
+// caseClauses builds the clause blocks of a switch/type-switch already
+// threaded up to cur (init and tag consumed).
+func (b *builder) caseClauses(clauses []ast.Stmt, cur *Block, label string) *Block {
+	after := b.newBlock()
+	b.scopes = append(b.scopes, scope{label: label, breakTo: after})
+	entries := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		entries[i] = b.newBlock()
+		b.edge(cur, entries[i])
+	}
+	for i, cs := range clauses {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		entry := entries[i]
+		for _, e := range cc.List {
+			b.atom(entry, e)
+		}
+		exit := b.stmtListWithFallthrough(cc.Body, entry, entries, i)
+		if exit != nil {
+			b.edge(exit, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	return after
+}
+
+// stmtListWithFallthrough is stmtList plus the fallthrough edge of case
+// bodies: a trailing fallthrough jumps to the next clause's entry.
+func (b *builder) stmtListWithFallthrough(list []ast.Stmt, cur *Block, entries []*Block, i int) *Block {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if cur != nil && i+1 < len(entries) {
+				b.edge(cur, entries[i+1])
+			}
+			return nil
+		}
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, cur *Block, label string) *Block {
+	// The SelectStmt node marks the (potentially) blocking choice point;
+	// its clause bodies live in successor blocks.
+	b.atom(cur, s)
+	after := b.newBlock()
+	b.scopes = append(b.scopes, scope{label: label, breakTo: after})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		entry := b.newBlock()
+		b.edge(cur, entry)
+		if cc.Comm != nil {
+			entry = b.stmt(cc.Comm, entry)
+		}
+		if exit := b.stmtList(cc.Body, entry); exit != nil {
+			b.edge(exit, after)
+		}
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	return after
+}
+
+func (b *builder) branch(s *ast.BranchStmt, cur *Block) *Block {
+	b.atom(cur, s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if sc := b.findScope(label, false); sc != nil {
+			b.edge(cur, sc.breakTo)
+		}
+		return nil
+	case token.CONTINUE:
+		if sc := b.findScope(label, true); sc != nil {
+			b.edge(cur, sc.continueTo)
+		}
+		return nil
+	case token.GOTO:
+		// Not modeled: treat like return so no spurious fallthrough path
+		// is created.
+		b.edge(cur, b.g.Exit)
+		return nil
+	case token.FALLTHROUGH:
+		// Handled by stmtListWithFallthrough; a stray one ends the path.
+		return nil
+	}
+	return cur
+}
+
+// findScope resolves a break/continue target: the innermost matching
+// scope, skipping continue-less scopes (switch/select) for continue.
+func (b *builder) findScope(label string, needContinue bool) *scope {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := &b.scopes[i]
+		if needContinue && sc.continueTo == nil {
+			continue
+		}
+		if label == "" || sc.label == label {
+			return sc
+		}
+	}
+	return nil
+}
+
+// Literals returns every function literal nested anywhere under n,
+// without descending into inner literals' bodies from the outer walk —
+// each returned literal is a root for its own analysis.
+func Literals(n ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok {
+			out = append(out, lit)
+			return false
+		}
+		return true
+	})
+	return out
+}

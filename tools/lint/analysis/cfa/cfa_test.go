@@ -1,0 +1,174 @@
+package cfa_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"wirelesshart/tools/lint/analysis/cfa"
+)
+
+// build parses one function body and returns its graph plus a lookup
+// from call-name to the block containing the call statement, so tests
+// address blocks by the names of the functions called in them.
+func build(t *testing.T, body string) (*cfa.Graph, map[string]*cfa.Block) {
+	t.Helper()
+	src := "package p\nfunc a()\nfunc b()\nfunc c()\nfunc d()\nfunc f() bool\nfunc target() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "target" {
+			fn = fd
+		}
+	}
+	g := cfa.New(fn.Body)
+	calls := make(map[string]*cfa.Block)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				calls[id.Name] = blk
+			}
+		}
+	}
+	return g, calls
+}
+
+func TestStraightLine(t *testing.T) {
+	g, calls := build(t, "a()\nb()")
+	if calls["a"] != calls["b"] {
+		t.Errorf("a() and b() should share one basic block")
+	}
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Errorf("exit not reachable from entry")
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g, calls := build(t, "if f() {\n\ta()\n} else {\n\tb()\n}\nc()")
+	if calls["a"] == calls["b"] {
+		t.Fatalf("branch arms share a block")
+	}
+	if !g.Reachable(calls["a"], calls["c"]) || !g.Reachable(calls["b"], calls["c"]) {
+		t.Errorf("join block not reachable from both arms")
+	}
+	if g.Reachable(calls["a"], calls["b"]) {
+		t.Errorf("else arm reachable from then arm")
+	}
+}
+
+func TestReturnTerminatesPath(t *testing.T) {
+	g, calls := build(t, "if f() {\n\ta()\n\treturn\n}\nb()")
+	if g.Reachable(calls["a"], calls["b"]) {
+		t.Errorf("code after return reachable from returning arm")
+	}
+	if !g.Reachable(g.Entry, calls["b"]) {
+		t.Errorf("fallthrough arm lost")
+	}
+}
+
+func TestLoopBackEdgeAndBreak(t *testing.T) {
+	g, calls := build(t, "for f() {\n\ta()\n\tif f() {\n\t\tbreak\n\t}\n\tb()\n}\nc()")
+	if !g.Reachable(calls["a"], calls["a"]) {
+		t.Errorf("loop body should reach itself via the back edge")
+	}
+	if !g.Reachable(calls["a"], calls["c"]) {
+		t.Errorf("break target not reachable")
+	}
+	if !g.Reachable(calls["b"], calls["a"]) {
+		t.Errorf("back edge from body tail lost")
+	}
+}
+
+func TestRangeHeadIsAtom(t *testing.T) {
+	g, calls := build(t, "xs := []int{1}\nfor range xs {\n\ta()\n}\nb()")
+	var rng *ast.RangeStmt
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if r, ok := n.(*ast.RangeStmt); ok {
+				rng = r
+			}
+		}
+	}
+	if rng == nil {
+		t.Fatalf("range statement is not an atom of any block")
+	}
+	head := g.BlockOf(rng)
+	if !g.Reachable(head, calls["a"]) || !g.Reachable(head, calls["b"]) {
+		t.Errorf("range head should reach both body and after")
+	}
+	if !g.Reachable(calls["a"], calls["b"]) {
+		t.Errorf("after-loop block not reachable from body")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g, calls := build(t, "outer:\nfor f() {\n\tfor f() {\n\t\ta()\n\t\tbreak outer\n\t}\n\tb()\n}\nc()")
+	if g.Reachable(calls["a"], calls["b"]) {
+		t.Errorf("break outer must leave both loops, not fall into the outer tail")
+	}
+	if !g.Reachable(calls["a"], calls["c"]) {
+		t.Errorf("outer loop exit unreachable after labeled break")
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	g, calls := build(t, "switch 1 {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\ndefault:\n\tc()\n}\nd()")
+	if !g.Reachable(calls["a"], calls["b"]) {
+		t.Errorf("fallthrough edge missing")
+	}
+	if g.Reachable(calls["b"], calls["c"]) {
+		t.Errorf("case bodies must not leak into the default clause")
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !g.Reachable(calls[name], calls["d"]) {
+			t.Errorf("case %s does not reach the statement after the switch", name)
+		}
+	}
+}
+
+func TestSelectClausesAndDefers(t *testing.T) {
+	g, calls := build(t, "ch := make(chan int)\ndefer a()\nselect {\ncase <-ch:\n\tb()\ndefault:\n\tc()\n}\nd()")
+	var sel *ast.SelectStmt
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if s, ok := n.(*ast.SelectStmt); ok {
+				sel = s
+			}
+		}
+	}
+	if sel == nil {
+		t.Fatalf("select statement is not an atom of any block")
+	}
+	if !g.Reachable(g.BlockOf(sel), calls["b"]) || !g.Reachable(g.BlockOf(sel), calls["c"]) {
+		t.Errorf("select clauses unreachable from the select header")
+	}
+	if !g.Reachable(calls["b"], calls["d"]) {
+		t.Errorf("post-select block unreachable from a clause")
+	}
+	if len(g.Defers) != 1 {
+		t.Errorf("Defers = %d, want 1", len(g.Defers))
+	}
+}
+
+func TestInfiniteLoopDoesNotReachAfter(t *testing.T) {
+	g, calls := build(t, "for {\n\ta()\n}\nb()")
+	if g.Reachable(calls["a"], calls["b"]) {
+		t.Errorf("infinite loop must not fall through")
+	}
+	if g.Reachable(g.Entry, g.Exit) {
+		t.Errorf("exit should be unreachable past an infinite loop")
+	}
+}

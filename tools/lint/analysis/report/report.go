@@ -1,0 +1,232 @@
+// Package report renders runner diagnostics in the formats whart-lint
+// serves: plain text for terminals, JSON for scripting, and SARIF 2.1.0
+// for GitHub code-scanning upload. All formats are deterministic — the
+// runner hands over position-sorted diagnostics and the formatters add
+// no map iteration or timestamps — so identical findings produce
+// byte-identical reports (the golden tests in this package pin that).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wirelesshart/tools/lint/analysis"
+	"wirelesshart/tools/lint/analysis/runner"
+)
+
+// StaleRuleID is the synthetic rule under which stale suppression
+// directives are reported; it lives beside the analyzer names in every
+// format.
+const StaleRuleID = "staleignore"
+
+// StaleDiagnostics converts stale suppression directives into ordinary
+// diagnostics under StaleRuleID, so every output format carries them.
+func StaleDiagnostics(stale []runner.Directive) []runner.Diagnostic {
+	var out []runner.Diagnostic
+	for _, d := range stale {
+		out = append(out, runner.Diagnostic{
+			Position: d.Position,
+			Category: StaleRuleID,
+			Message: fmt.Sprintf("suppression %s %s silences nothing; fix the analyzer name or delete the directive",
+				runner.SuppressPrefix, strings.Join(d.Names, ",")),
+		})
+	}
+	return out
+}
+
+// Merge combines diagnostic lists back into one position-sorted slice.
+func Merge(lists ...[]runner.Diagnostic) []runner.Diagnostic {
+	var all []runner.Diagnostic
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Category < b.Category
+	})
+	return all
+}
+
+// relativize rewrites file to a slash-separated path relative to baseDir
+// when it lies under it; CI uploads and golden tests need paths that do
+// not depend on the checkout location.
+func relativize(baseDir, file string) string {
+	if baseDir == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(baseDir, file)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Text writes the classic one-line-per-finding terminal format.
+func Text(w io.Writer, diags []runner.Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finding is one diagnostic of the JSON format.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Count    int       `json:"count"`
+	Findings []Finding `json:"findings"`
+}
+
+// JSON writes the findings as one indented JSON document with paths
+// relative to baseDir.
+func JSON(w io.Writer, diags []runner.Diagnostic, baseDir string) error {
+	rep := jsonReport{Count: len(diags), Findings: []Finding{}}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, Finding{
+			File:     relativize(baseDir, d.Position.Filename),
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Category,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SARIF 2.1.0 document structure (the subset GitHub code scanning
+// consumes). Field order follows the spec's reading order so the output
+// diffs cleanly.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// SARIF writes a SARIF 2.1.0 run: one rule per registered analyzer plus
+// the staleignore rule, one error-level result per diagnostic, paths
+// relative to baseDir under the %SRCROOT% base id. Every result's ruleId
+// must resolve in the rules table, so diagnostics from unregistered
+// categories are an error rather than an invalid document.
+func SARIF(w io.Writer, diags []runner.Diagnostic, analyzers []*analysis.Analyzer, baseDir string) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := map[string]int{}
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	index[StaleRuleID] = len(rules)
+	rules = append(rules, sarifRule{
+		ID:               StaleRuleID,
+		ShortDescription: sarifText{Text: "a //whartlint:ignore directive suppresses no diagnostic of any analyzer that ran"},
+	})
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	for i, r := range rules {
+		index[r.ID] = i
+	}
+
+	results := []sarifResult{}
+	for _, d := range diags {
+		ri, ok := index[d.Category]
+		if !ok {
+			return fmt.Errorf("report: diagnostic category %q has no registered rule", d.Category)
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Category,
+			RuleIndex: ri,
+			Level:     "error",
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relativize(baseDir, d.Position.Filename), URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: d.Position.Line, StartColumn: d.Position.Column},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "whart-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,211 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wirelesshart/tools/lint/analysis"
+	"wirelesshart/tools/lint/analysis/load"
+	"wirelesshart/tools/lint/analysis/report"
+	"wirelesshart/tools/lint/analysis/runner"
+)
+
+// funcFlag and returnFlag produce interleaved diagnostics in the broken
+// fixture so the goldens lock multi-file, multi-analyzer ordering.
+var funcFlag = &analysis.Analyzer{
+	Name: "funcflag",
+	Doc:  "flag every function declaration (formatter test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "declaration of %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+var returnFlag = &analysis.Analyzer{
+	Name: "returnflag",
+	Doc:  "flag every return statement (formatter test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(r.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// update regenerates the goldens: UPDATE_GOLDEN=1 go test ./analysis/report
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func brokenDiagnostics(t *testing.T) ([]runner.Diagnostic, []*analysis.Analyzer, string) {
+	t.Helper()
+	analyzers := []*analysis.Analyzer{funcFlag, returnFlag}
+	baseDir, err := filepath.Abs("testdata/src/broken")
+	if err != nil {
+		t.Fatalf("abs: %v", err)
+	}
+	pkgs, err := load.Load(load.Config{Dir: baseDir}, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := runner.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	stale := res.Stale(analyzers)
+	if len(stale) != 1 {
+		t.Fatalf("fixture must contain exactly one stale directive, got %v", stale)
+	}
+	diags := report.Merge(res.Diagnostics, report.StaleDiagnostics(stale))
+	return diags, analyzers, baseDir
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update golden %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s: %v (regenerate with UPDATE_GOLDEN=1)", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenFormats locks all three output formats byte-for-byte over a
+// broken multi-diagnostic package, including the stale-suppression
+// finding and position-sorted ordering.
+func TestGoldenFormats(t *testing.T) {
+	diags, analyzers, baseDir := brokenDiagnostics(t)
+
+	// Relativize the text format's positions through a copy so the
+	// golden is checkout-independent like the other two formats.
+	rel := make([]runner.Diagnostic, len(diags))
+	copy(rel, diags)
+	for i := range rel {
+		if r, err := filepath.Rel(baseDir, rel[i].Position.Filename); err == nil {
+			rel[i].Position.Filename = filepath.ToSlash(r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := report.Text(&buf, rel); err != nil {
+		t.Fatalf("text: %v", err)
+	}
+	checkGolden(t, "golden.txt", buf.Bytes())
+
+	buf.Reset()
+	if err := report.JSON(&buf, diags, baseDir); err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	checkGolden(t, "golden.json", buf.Bytes())
+
+	buf.Reset()
+	if err := report.SARIF(&buf, diags, analyzers, baseDir); err != nil {
+		t.Fatalf("sarif: %v", err)
+	}
+	checkGolden(t, "golden.sarif", buf.Bytes())
+}
+
+// TestSARIFWellFormed decodes the SARIF output generically and checks
+// the invariants the 2.1.0 schema demands of the subset we emit:
+// version and $schema present, every result's ruleId resolving to a
+// rule at its ruleIndex, and region line numbers positive.
+func TestSARIFWellFormed(t *testing.T) {
+	diags, analyzers, baseDir := brokenDiagnostics(t)
+	var buf bytes.Buffer
+	if err := report.SARIF(&buf, diags, analyzers, baseDir); err != nil {
+		t.Fatalf("sarif: %v", err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Version != "2.1.0" || doc.Schema == "" {
+		t.Fatalf("version = %q, $schema = %q", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "whart-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(diags))
+	}
+	for _, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Fatalf("result %q ruleIndex %d out of range", r.RuleID, r.RuleIndex)
+		}
+		if run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result ruleId %q does not match rules[%d].id %q", r.RuleID, r.RuleIndex, run.Tool.Driver.Rules[r.RuleIndex].ID)
+		}
+		if r.Level != "error" || r.Message.Text == "" {
+			t.Errorf("result %q: level %q, message %q", r.RuleID, r.Level, r.Message.Text)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine <= 0 {
+			t.Errorf("result %q: bad location %+v", r.RuleID, r.Locations)
+		}
+		if filepath.IsAbs(r.Locations[0].PhysicalLocation.ArtifactLocation.URI) {
+			t.Errorf("result %q: absolute artifact URI %q", r.RuleID, r.Locations[0].PhysicalLocation.ArtifactLocation.URI)
+		}
+	}
+	// An unregistered category must refuse to emit an invalid document.
+	bad := []runner.Diagnostic{{Category: "nosuchrule", Message: "x"}}
+	if err := report.SARIF(&buf, bad, analyzers, baseDir); err == nil {
+		t.Errorf("SARIF accepted a diagnostic with no registered rule")
+	}
+}

@@ -1,0 +1,15 @@
+// A deliberately broken package: every function declaration and every
+// return statement draws a diagnostic from the test analyzers, across
+// two files, so the formatter goldens lock interleaved multi-file,
+// multi-analyzer output.
+package b
+
+func alpha() int {
+	return 1
+}
+
+//whartlint:ignore funcflag this one declaration is intentionally silenced
+func beta() {}
+
+//whartlint:ignore returnflag stale: beta has no return statement to silence
+func gamma() {}

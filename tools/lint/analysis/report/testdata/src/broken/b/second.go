@@ -1,0 +1,8 @@
+package b
+
+func delta() int {
+	if alpha() > 0 {
+		return 2
+	}
+	return 3
+}

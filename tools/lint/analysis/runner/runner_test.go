@@ -2,6 +2,7 @@ package runner_test
 
 import (
 	"go/ast"
+	"strings"
 	"testing"
 
 	"wirelesshart/tools/lint/analysis"
@@ -26,17 +27,23 @@ var flagFuncs = &analysis.Analyzer{
 	},
 }
 
-func TestSuppressionComments(t *testing.T) {
+func run(t *testing.T) *runner.Result {
+	t.Helper()
 	pkgs, err := load.Load(load.Config{Dir: "testdata/src/mod"}, "./...")
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	diags, err := runner.Run(pkgs, []*analysis.Analyzer{flagFuncs})
+	res, err := runner.Run(pkgs, []*analysis.Analyzer{flagFuncs})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	return res
+}
+
+func TestSuppressionComments(t *testing.T) {
+	res := run(t)
 	var got []string
-	for _, d := range diags {
+	for _, d := range res.Diagnostics {
 		got = append(got, d.Message)
 	}
 	want := []string{"function flagged flagged", "function wrongName flagged"}
@@ -46,6 +53,27 @@ func TestSuppressionComments(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("diagnostic[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStaleDirectives(t *testing.T) {
+	res := run(t)
+	if len(res.Directives) != 5 {
+		t.Fatalf("parsed %d directives, want 5", len(res.Directives))
+	}
+	stale := res.Stale([]*analysis.Analyzer{flagFuncs})
+	if len(stale) != 1 {
+		t.Fatalf("stale = %v, want exactly the directive over the var declaration", stale)
+	}
+	if !strings.Contains(stale[0].String(), "s.go") || stale[0].Names[0] != "testcheck" {
+		t.Errorf("stale directive = %v, want the testcheck directive in s.go", stale[0])
+	}
+	// The othercheck directive silenced nothing either, but othercheck
+	// never ran: it must stay exempt rather than flagged.
+	for _, d := range stale {
+		if d.Names[0] == "othercheck" {
+			t.Errorf("directive naming an analyzer outside the run reported stale: %v", d)
 		}
 	}
 }

@@ -14,3 +14,6 @@ func wildcard() {}
 
 //whartlint:ignore othercheck a different analyzer's suppression does not apply
 func wrongName() {}
+
+//whartlint:ignore testcheck stale: the var below is not a func decl, nothing is silenced
+var notAFunction = 1

@@ -1,6 +1,7 @@
 // Command whart-lint runs the repo's custom analyzer suite — layercheck,
-// probfloat, mustcheck, exhaustenum — over a set of package patterns and
-// exits non-zero on any diagnostic.
+// probfloat, mustcheck, exhaustenum, detrange, locksafe, goleak — over a
+// set of package patterns and exits non-zero on any diagnostic or on any
+// stale suppression directive.
 //
 // It lives in its own module (wirelesshart/tools/lint) so the model
 // module's import graph stays dependency-free; run it from the repo root
@@ -12,7 +13,13 @@
 //
 //	//whartlint:ignore <analyzer> <reason>
 //
-// on the flagged line or the line above it.
+// on the flagged line or the line above it. A directive that silences
+// nothing is itself reported (category "staleignore") and fails the run,
+// so suppressions cannot outlive the finding they were written for.
+//
+// -format selects the report encoding: text (default, one finding per
+// line), json (machine-readable summary), or sarif (SARIF 2.1.0 for
+// GitHub code scanning).
 package main
 
 import (
@@ -23,16 +30,23 @@ import (
 
 	"wirelesshart/tools/lint/analysis"
 	"wirelesshart/tools/lint/analysis/load"
+	"wirelesshart/tools/lint/analysis/report"
 	"wirelesshart/tools/lint/analysis/runner"
+	"wirelesshart/tools/lint/detrange"
 	"wirelesshart/tools/lint/exhaustenum"
+	"wirelesshart/tools/lint/goleak"
 	"wirelesshart/tools/lint/layercheck"
+	"wirelesshart/tools/lint/locksafe"
 	"wirelesshart/tools/lint/mustcheck"
 	"wirelesshart/tools/lint/probfloat"
 )
 
 var all = []*analysis.Analyzer{
+	detrange.Analyzer,
 	exhaustenum.Analyzer,
+	goleak.Analyzer,
 	layercheck.Analyzer,
+	locksafe.Analyzer,
 	mustcheck.Analyzer,
 	probfloat.Analyzer,
 }
@@ -44,6 +58,8 @@ func main() {
 func run() int {
 	dir := flag.String("dir", ".", "directory of the module to analyze (working directory for the go tool)")
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	format := flag.String("format", "text", "report format: text, json, or sarif")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: whart-lint [flags] [packages]\n\nAnalyzers:\n")
@@ -84,13 +100,37 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "whart-lint: %v\n", err)
 		return 2
 	}
-	diags, err := runner.Run(pkgs, analyzers)
+	res, err := runner.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "whart-lint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := report.Merge(res.Diagnostics, report.StaleDiagnostics(res.Stale(analyzers)))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whart-lint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "text":
+		err = report.Text(w, diags)
+	case "json":
+		err = report.JSON(w, diags, *dir)
+	case "sarif":
+		err = report.SARIF(w, diags, analyzers, *dir)
+	default:
+		fmt.Fprintf(os.Stderr, "whart-lint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whart-lint: %v\n", err)
+		return 2
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "whart-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

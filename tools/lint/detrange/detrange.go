@@ -1,0 +1,344 @@
+// Package detrange defines an analyzer that flags iteration-order
+// dependence on Go's randomized map range.
+//
+// The model pipeline promises byte-identical outputs for identical
+// inputs (fleet goldens diff two runs of the same seed), and the PR 6
+// root cause was exactly a `for k := range m` whose body summed floats:
+// float addition is not associative, so the randomized key order leaked
+// into the last bits of the result. detrange makes that bug class
+// unrepresentable by flagging any range over a map whose body has an
+// order-sensitive effect:
+//
+//   - accumulating floats into a variable declared outside the loop
+//     (+=, -=, *=, /=, or the spelled-out x = x + v forms);
+//   - concatenating strings into an outer variable (cache keys built in
+//     map order differ between runs);
+//   - appending to an outer slice, unless a sort of that same slice is
+//     control-flow-reachable after the loop (the collect-then-sort idiom
+//     is the sanctioned fix and stays silent);
+//   - feeding a hashing, checksum, or encoding sink: any call into
+//     crypto/*, hash/*, or encoding/*, or a Write* method on a receiver
+//     declared outside the loop (bytes.Buffer, strings.Builder,
+//     hash.Hash, io.Writer — the write order IS the key order).
+//
+// Map writes, counters of integer type, and per-key work with no outer
+// accumulation are order-independent and stay silent.
+package detrange
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wirelesshart/tools/lint/analysis"
+	"wirelesshart/tools/lint/analysis/cfa"
+)
+
+// Analyzer flags order-sensitive effects inside range-over-map loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags map iteration whose body depends on the randomized key order",
+	Run:  run,
+}
+
+// sortFuncs are the stdlib entry points that establish a deterministic
+// order for the collect-then-sort exemption. Values are the index of the
+// argument being sorted.
+var sortFuncs = map[string]int{
+	"sort.Strings":          0,
+	"sort.Ints":             0,
+	"sort.Float64s":         0,
+	"sort.Slice":            0,
+	"sort.SliceStable":      0,
+	"sort.Sort":             0,
+	"sort.Stable":           0,
+	"slices.Sort":           0,
+	"slices.SortFunc":       0,
+	"slices.SortStableFunc": 0,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+			for _, lit := range cfa.Literals(fn.Body) {
+				checkFunc(pass, lit.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc examines one function body (FuncLits are visited separately,
+// each with its own graph, matching the cfa per-function contract).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var graph *cfa.Graph // built lazily: only append findings need it
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkLoop(pass, body, rng, &graph)
+		return true
+	})
+}
+
+func checkLoop(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, graph **cfa.Graph) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			checkAssign(pass, funcBody, rng, n, graph)
+		case *ast.CallExpr:
+			checkSink(pass, rng, n)
+		}
+		return true
+	})
+}
+
+// checkAssign flags outer-variable accumulation and unsorted appends.
+func checkAssign(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt, graph **cfa.Graph) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	obj := rootObject(pass, as.Lhs[0])
+	if obj == nil || !outer(obj, rng) {
+		return
+	}
+	lhs := render(as.Lhs[0])
+
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		reportAccumulation(pass, rng, as, lhs)
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return
+	}
+
+	// x = x <op> v spelled out, or x = append(x, ...).
+	switch rhs := as.Rhs[0].(type) {
+	case *ast.BinaryExpr:
+		if !sameTarget(pass, as.Lhs[0], rhs.X) && !sameTarget(pass, as.Lhs[0], rhs.Y) {
+			return
+		}
+		switch rhs.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			reportAccumulation(pass, rng, as, lhs)
+		}
+	case *ast.CallExpr:
+		if id, ok := rhs.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return
+		}
+		if len(rhs.Args) == 0 || !sameTarget(pass, as.Lhs[0], rhs.Args[0]) {
+			return
+		}
+		if sortedAfter(pass, funcBody, rng, obj, graph) {
+			return
+		}
+		pass.Reportf(as.Pos(),
+			"append to %q inside range over map %s depends on the randomized key order; sort %q after the loop or range over sorted keys",
+			lhs, render(rng.X), lhs)
+	}
+}
+
+// reportAccumulation flags float and string accumulation; integer and
+// other exact accumulation commutes, so it stays silent.
+func reportAccumulation(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, lhs string) {
+	t := pass.TypesInfo.TypeOf(as.Lhs[0])
+	if t == nil {
+		return
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch {
+	case basic.Info()&types.IsFloat != 0:
+		pass.Reportf(as.Pos(),
+			"float accumulation into %q inside range over map %s is not associative and depends on the randomized key order; range over sorted keys",
+			lhs, render(rng.X))
+	case basic.Info()&types.IsString != 0:
+		pass.Reportf(as.Pos(),
+			"string concatenation into %q inside range over map %s depends on the randomized key order; range over sorted keys",
+			lhs, render(rng.X))
+	}
+}
+
+// checkSink flags calls that fold the iteration order into a digest or
+// encoded stream: anything under crypto/, hash/, or encoding/, and the
+// Write* methods of outer bytes.Buffer / strings.Builder values.
+func checkSink(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path == "hash" || strings.HasPrefix(path, "hash/") ||
+		strings.HasPrefix(path, "crypto/") ||
+		strings.HasPrefix(path, "encoding/") {
+		pass.Reportf(call.Pos(),
+			"call to %s.%s inside range over map %s feeds the randomized key order into a digest or encoding; range over sorted keys",
+			path, fn.Name(), render(rng.X))
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !strings.HasPrefix(fn.Name(), "Write") {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := rootObject(pass, sel.X)
+	if obj == nil || !outer(obj, rng) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s on %q inside range over map %s records the randomized key order; range over sorted keys",
+		fn.Name(), render(sel.X), render(rng.X))
+}
+
+// sortedAfter reports whether a sort of obj is control-flow-reachable
+// after the loop — the sanctioned collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object, graph **cfa.Graph) bool {
+	var calls []*ast.CallExpr
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		fn := callee(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		argIdx, ok := sortFuncs[fn.Pkg().Path()+"."+fn.Name()]
+		if !ok || len(call.Args) <= argIdx {
+			return true
+		}
+		if arg := rootObject(pass, call.Args[argIdx]); arg == obj {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	if len(calls) == 0 {
+		return false
+	}
+	if *graph == nil {
+		*graph = cfa.New(funcBody)
+	}
+	g := *graph
+	from := g.BlockOf(rng)
+	if from == nil {
+		return true // range outside graph atoms: be lenient
+	}
+	for _, call := range calls {
+		if to := g.BlockOf(nearestStmt(funcBody, call)); to != nil && g.Reachable(from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// nearestStmt finds the statement enclosing n, the granularity cfa
+// tracks in Graph.BlockOf.
+func nearestStmt(body *ast.BlockStmt, n ast.Node) ast.Node {
+	var best ast.Node
+	ast.Inspect(body, func(cand ast.Node) bool {
+		if cand == nil || cand.Pos() > n.Pos() || cand.End() < n.End() {
+			return false
+		}
+		if _, ok := cand.(ast.Stmt); ok {
+			best = cand
+		}
+		return true
+	})
+	return best
+}
+
+// outer reports whether obj is declared outside the loop body, i.e.
+// survives the iteration and can observe its order.
+func outer(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Body.Pos() || obj.Pos() > rng.Body.End()
+}
+
+// rootObject resolves the base identifier of x, s.f, a[i], *p chains.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sameTarget reports whether two expressions name the same lvalue path
+// (same root object and same rendered selector chain).
+func sameTarget(pass *analysis.Pass, a, b ast.Expr) bool {
+	oa, ob := rootObject(pass, a), rootObject(pass, b)
+	return oa != nil && oa == ob && render(a) == render(b)
+}
+
+// render prints a compact source-like form of simple expressions for
+// diagnostics and path comparison.
+func render(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return render(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return render(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + render(x.X)
+	case *ast.ParenExpr:
+		return "(" + render(x.X) + ")"
+	case *ast.CallExpr:
+		return render(x.Fun) + "(...)"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// callee resolves the static *types.Func a call dispatches to, or nil.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"wirelesshart/tools/lint/analysis/analysistest"
+	"wirelesshart/tools/lint/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.RunWithStubs(t, "testdata/src/whart", detrange.Analyzer, "./...")
+}

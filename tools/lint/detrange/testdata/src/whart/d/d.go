@@ -1,0 +1,183 @@
+package d
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+func floatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into "sum" inside range over map m`
+	}
+	prod := 1.0
+	for _, v := range m {
+		prod = prod * v // want `float accumulation into "prod" inside range over map m`
+	}
+	return sum + prod
+}
+
+func stringKeyBuild(m map[string]int) string {
+	key := ""
+	for k := range m {
+		key += k // want `string concatenation into "key" inside range over map m`
+	}
+	return key
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map m`
+	}
+	return keys
+}
+
+func appendSortedOnlyOnErrorPath(m map[string]int, fail bool) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted on every path that returns them
+	}
+	if fail {
+		return nil
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func hashSink(m map[string]string) map[string][32]byte {
+	out := make(map[string][32]byte, len(m))
+	for k, v := range m {
+		out[k] = sha256.Sum256([]byte(v)) // want `call to crypto/sha256.Sum256 inside range over map m`
+	}
+	return out
+}
+
+func hashAccumulate(m map[string]int) []byte {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(fmt.Sprint(k))) // want `Write on "h" inside range over map m`
+	}
+	return h.Sum(nil)
+}
+
+func encodeSink(m map[string]int) {
+	for k, v := range m {
+		json.Marshal(struct { // want `call to encoding/json.Marshal inside range over map m`
+			K string
+			V int
+		}{k, v})
+	}
+}
+
+func bufferSink(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString on "b" inside range over map m`
+	}
+	var raw bytes.Buffer
+	for k := range m {
+		raw.Write([]byte(k)) // want `Write on "raw" inside range over map m`
+	}
+	return b.String() + raw.String()
+}
+
+// --- negatives ---
+
+func sortedKeysIdiom(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort: the sanctioned fix
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k] // range over a slice, not a map
+	}
+	return sum
+}
+
+func sliceSortIdiom(m map[string]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func intCounting(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition commutes: order-independent
+	}
+	for _, v := range m {
+		n = n + v // spelled-out form, still integer: order-independent
+	}
+	return n
+}
+
+func mapRewrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2 // map writes are order-independent
+	}
+	return out
+}
+
+func innerAccumulator(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		var sum float64 // declared inside the loop: per-key, order-free
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func maxScan(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v // plain assignment, not accumulation: max commutes
+		}
+	}
+	return best
+}
+
+func innerWriter(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder // declared inside the loop: per-key, order-free
+		b.WriteString(v)
+		b.WriteString("!")
+		out[k] = b.String()
+	}
+	return out
+}
+
+func sliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // slice iteration order is deterministic
+	}
+	return sum
+}
+
+func deferredWork(m map[string]int) []func() string {
+	var fns []func() string
+	for k := range m {
+		k := k
+		fns = append(fns, func() string { // want `append to "fns" inside range over map m`
+			return fmt.Sprintf("%s", k)
+		})
+	}
+	return fns
+}

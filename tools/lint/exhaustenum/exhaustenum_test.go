@@ -8,5 +8,5 @@ import (
 )
 
 func TestExhaustenum(t *testing.T) {
-	analysistest.Run(t, "testdata/src/whart", exhaustenum.Analyzer, "./...")
+	analysistest.RunWithStubs(t, "testdata/src/whart", exhaustenum.Analyzer, "./...")
 }

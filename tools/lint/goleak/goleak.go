@@ -1,0 +1,157 @@
+// Package goleak defines an analyzer that flags fire-and-forget
+// goroutines: a `go` statement whose goroutine has no visible join or
+// cancellation path back to its parent.
+//
+// The fleet and cluster layers spawn workers constantly; a goroutine
+// with no WaitGroup, channel, or context tying it to its parent cannot
+// be flushed on SIGTERM drain and either leaks or races the snapshot
+// save. The analyzer inspects the launched function body (function
+// literals directly; named functions and methods of the same package at
+// depth one) plus the launch-site arguments for any of:
+//
+//   - a channel operation or channel-typed value (send, receive, close,
+//     select, or just holding a channel — passing one along counts);
+//   - sync.WaitGroup use (Done/Wait or a WaitGroup-typed value);
+//   - a context.Context value (ctx.Done(), ctx.Err(), or passing ctx on).
+//
+// If none is visible the launch is flagged. Calls into other packages
+// are not followed, so a goroutine whose only lifecycle management is
+// buried in an imported helper needs a `//whartlint:ignore goleak`
+// with a justification naming that helper.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wirelesshart/tools/lint/analysis"
+)
+
+// Analyzer flags goroutines with no join or cancellation path.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "flags goroutines launched with no join or cancellation path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Map package-level functions and methods to their declarations so
+	// `go worker(...)` launches can be inspected at depth one.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.ObjectOf(fn.Name); obj != nil {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			check(pass, g, decls)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) {
+	// Lifecycle-typed arguments at the launch site are a join path: the
+	// goroutine was handed a channel, context, or WaitGroup.
+	for _, arg := range g.Call.Args {
+		if lifecycleExpr(pass, arg) {
+			return
+		}
+	}
+
+	var body *ast.BlockStmt
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		obj := calleeObject(pass, g.Call)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg() != pass.Pkg {
+			return // cross-package or dynamic: not visible, stay silent
+		}
+		decl, ok := decls[obj]
+		if !ok || decl.Body == nil {
+			return
+		}
+		body = decl.Body
+	}
+
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && lifecycleExpr(pass, e) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		pass.Reportf(g.Pos(),
+			"goroutine is launched with no join or cancellation path: no WaitGroup, channel, or context ties it to its parent")
+	}
+}
+
+// lifecycleExpr reports whether e is a value that gives the goroutine a
+// lifecycle link: a channel, a context.Context, or a sync.WaitGroup.
+func lifecycleExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return lifecycleType(t)
+}
+
+func lifecycleType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return lifecycleType(u.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		switch {
+		case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+			return true
+		case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+			return true
+		}
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		// context.Context flows through interface-typed params too.
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == "Deadline" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the object a static call names, or nil.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.ObjectOf(fun.Sel)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"wirelesshart/tools/lint/analysis/analysistest"
+	"wirelesshart/tools/lint/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.RunWithStubs(t, "testdata/src/whart", goleak.Analyzer, "./...")
+}

@@ -1,0 +1,124 @@
+package g
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+func bareLiteral() {
+	go func() { // want `goroutine is launched with no join or cancellation path`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+func logForever() {
+	for {
+		time.Sleep(time.Minute)
+	}
+}
+
+func bareNamed() {
+	go logForever() // want `goroutine is launched with no join or cancellation path`
+}
+
+type spinner struct{ n int }
+
+func (s *spinner) spin() {
+	for {
+		s.n++
+	}
+}
+
+func bareMethod(s *spinner) {
+	go s.spin() // want `goroutine is launched with no join or cancellation path`
+}
+
+func argEvaluatedButNoLink(s *spinner, label string) {
+	go func(tag string) { // want `goroutine is launched with no join or cancellation path`
+		_ = tag
+		s.spin()
+	}(label)
+}
+
+// --- negatives ---
+
+func waitGroupJoin(jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done() // WaitGroup closes the join path
+		}()
+	}
+	wg.Wait()
+}
+
+func channelResult() <-chan int {
+	out := make(chan int)
+	go func() {
+		out <- 42 // the send is the join path
+	}()
+	return out
+}
+
+func doneChannel(done chan struct{}) {
+	go func() {
+		defer close(done) // closing the done channel signals completion
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+func worker(jobs chan int) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+func channelArg(jobs chan int) {
+	go worker(jobs) // channel-typed argument: lifecycle handed over
+}
+
+func process(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func contextArg(ctx context.Context) {
+	go process(ctx) // context-typed argument: cancellable
+}
+
+func contextInBody(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done(): // captured context: cancellable
+				return
+			case <-time.After(time.Second):
+			}
+		}
+	}()
+}
+
+func crossPackage(srv *http.Server) {
+	go srv.ListenAndServe() // other package's body is not visible: stay silent
+}
+
+func dynamicCall(f func()) {
+	go f() // dynamic callee: not visible, stay silent
+}
+
+func tickerLoop(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	go func() {
+		for {
+			select {
+			case <-t.C: // channel-typed field: linked to the ticker
+			case <-stop:
+				return
+			}
+		}
+	}()
+}

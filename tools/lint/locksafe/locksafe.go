@@ -1,0 +1,550 @@
+// Package locksafe defines an analyzer for two mutex-discipline bugs the
+// engine/cluster/fleet layers are exposed to:
+//
+//  1. A sync.Mutex or sync.RWMutex held across a blocking operation —
+//     a channel send or receive, a select with no default, a call into
+//     net/http, time.Sleep, or sync.WaitGroup.Wait. The engine's
+//     worker-pool semaphore and the cluster client's peer forwarding
+//     both block for unbounded time; holding a cache or breaker lock
+//     through them serializes the whole process and can deadlock it.
+//     The check is a must-hold dataflow over the intra-procedural CFG:
+//     a blocking operation is flagged only if a lock is held on EVERY
+//     path reaching it, so conditionally-locked code does not
+//     false-positive. sync.Cond.Wait is special: it unlocks its own
+//     mutex while waiting, so it is flagged only when a second lock is
+//     also held.
+//
+//  2. A lock copied by value: a parameter, receiver, or assignment
+//     whose type is or contains sync.Mutex/sync.RWMutex by value.
+//     Copying a mutex forks its state; the copy guards nothing.
+//
+// The analysis is per-function and does not follow calls, so a helper
+// that blocks internally is not seen through — name such helpers
+// clearly and keep lock scopes tight instead.
+package locksafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"wirelesshart/tools/lint/analysis"
+	"wirelesshart/tools/lint/analysis/cfa"
+)
+
+// Analyzer flags locks held across blocking operations and locks copied
+// by value.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flags mutexes held across blocking operations and locks copied by value",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSignature(pass, fn)
+			if fn.Body == nil {
+				continue
+			}
+			checkBody(pass, fn.Body)
+			for _, lit := range cfa.Literals(fn.Body) {
+				checkLitSignature(pass, lit)
+				checkBody(pass, lit.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// --- check 2: locks copied by value ---
+
+func checkSignature(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			reportValueLock(pass, f.Type, "receiver", fieldName(f))
+		}
+	}
+	checkFieldList(pass, fn.Type.Params, "parameter")
+	checkFieldList(pass, fn.Type.Results, "result")
+}
+
+func checkLitSignature(pass *analysis.Pass, lit *ast.FuncLit) {
+	checkFieldList(pass, lit.Type.Params, "parameter")
+	checkFieldList(pass, lit.Type.Results, "result")
+}
+
+func checkFieldList(pass *analysis.Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		reportValueLock(pass, f.Type, kind, fieldName(f))
+	}
+}
+
+func fieldName(f *ast.Field) string {
+	if len(f.Names) > 0 {
+		return f.Names[0].Name
+	}
+	return ""
+}
+
+func reportValueLock(pass *analysis.Pass, typeExpr ast.Expr, kind, name string) {
+	t := pass.TypesInfo.TypeOf(typeExpr)
+	if t == nil {
+		return
+	}
+	if lock := lockPath(t); lock != "" {
+		what := kind
+		if name != "" {
+			what = fmt.Sprintf("%s %q", kind, name)
+		}
+		pass.Reportf(typeExpr.Pos(),
+			"%s passes %s by value; the copy guards nothing — use a pointer",
+			what, lock)
+	}
+}
+
+// checkAssignCopies flags x := y / x = y where y is an existing value of
+// a lock-carrying type (composite literals and zero values are creation,
+// not copies, and stay legal).
+func checkAssignCopies(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) || len(as.Rhs) != len(as.Lhs) {
+				break
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue // discarded, nothing aliases the copy
+			}
+			switch rhs.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			default:
+				continue // literals, calls, conversions: fresh values
+			}
+			t := pass.TypesInfo.TypeOf(rhs)
+			if t == nil {
+				continue
+			}
+			if lock := lockPath(t); lock != "" {
+				pass.Reportf(as.Pos(),
+					"assignment copies %s by value; the copy guards nothing — use a pointer", lock)
+			}
+		}
+		return true
+	})
+}
+
+// lockPath reports how t carries a lock by value: "sync.Mutex" itself, or
+// "sync.RWMutex (via field mu of T)" when embedded in a struct/array.
+// Pointers, maps, slices, and channels break the by-value chain.
+func lockPath(t types.Type) string {
+	seen := make(map[types.Type]bool)
+	var walk func(t types.Type) string
+	walk = func(t types.Type) string {
+		if seen[t] {
+			return ""
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				return "sync." + obj.Name()
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if inner := walk(f.Type()); inner != "" {
+					return fmt.Sprintf("%s (via field %s)", inner, f.Name())
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return ""
+	}
+	return walk(t)
+}
+
+// --- check 1: locks held across blocking operations ---
+
+type blockKind int
+
+const (
+	notBlocking blockKind = iota
+	chanSend
+	chanRecv
+	blockingSelect
+	blockingCall
+	condWait
+)
+
+func (k blockKind) String() string {
+	switch k {
+	case chanSend:
+		return "channel send"
+	case chanRecv:
+		return "channel receive"
+	case blockingSelect:
+		return "select with no default"
+	case condWait:
+		return "sync.Cond.Wait"
+	default:
+		return "blocking call"
+	}
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	checkAssignCopies(pass, body)
+	g := cfa.New(body)
+
+	// Comm statements live in their clause blocks; the SelectStmt atom is
+	// the single blocking point, so the clause copies must not re-report.
+	inComm := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := n.(*ast.CommClause); ok && c.Comm != nil {
+			inComm[c.Comm] = true
+		}
+		return true
+	})
+
+	// Collect the lock universe and per-block transfer up front.
+	universe := make(map[string]bool)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if key, locked := lockEvent(pass, n); key != "" && locked {
+				universe[key] = true
+			}
+		}
+	}
+	if len(universe) == 0 {
+		return
+	}
+
+	// cfa blocks do not record predecessors; recover them from Succs.
+	preds := make(map[*cfa.Block][]*cfa.Block, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+
+	// Must-hold fixpoint: in[b] = ∩ out[p]; out initialized to the full
+	// universe so back edges do not erase facts before stabilizing.
+	out := make(map[*cfa.Block]map[string]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		out[b] = copySet(universe)
+	}
+	out[g.Entry] = apply(pass, g.Entry, make(map[string]bool), nil, nil)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if b == g.Entry {
+				continue
+			}
+			in := meet(preds[b], out, universe)
+			next := apply(pass, b, in, nil, nil)
+			if !equalSet(next, out[b]) {
+				out[b] = next
+				changed = true
+			}
+		}
+	}
+
+	// Report pass: replay each block from its stable in-set.
+	reported := make(map[ast.Node]bool)
+	for _, b := range g.Blocks {
+		var in map[string]bool
+		if b == g.Entry {
+			in = make(map[string]bool)
+		} else {
+			in = meet(preds[b], out, universe)
+		}
+		apply(pass, b, in, inComm, reported)
+	}
+}
+
+func meet(preds []*cfa.Block, out map[*cfa.Block]map[string]bool, universe map[string]bool) map[string]bool {
+	if len(preds) == 0 {
+		return make(map[string]bool)
+	}
+	in := copySet(universe)
+	for _, p := range preds {
+		for k := range in {
+			if !out[p][k] {
+				delete(in, k)
+			}
+		}
+	}
+	return in
+}
+
+// apply runs the transfer function of one block. When report is non-nil
+// it also emits diagnostics for blocking atoms reached with locks held.
+func apply(pass *analysis.Pass, b *cfa.Block, in map[string]bool, inComm map[ast.Node]bool, reported map[ast.Node]bool) map[string]bool {
+	held := copySet(in)
+	for _, n := range b.Nodes {
+		if reported != nil {
+			reportBlocking(pass, n, held, inComm, reported)
+		}
+		if key, locked := lockEvent(pass, n); key != "" {
+			if locked {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+		}
+	}
+	return held
+}
+
+// lockEvent classifies an atom as mu.Lock()/mu.RLock() (locked=true) or
+// mu.Unlock()/mu.RUnlock() (locked=false). Deferred unlocks run at
+// return, so DeferStmt atoms are no-ops here: the lock stays held
+// through the rest of the function, which is exactly what matters for
+// blocking operations after it.
+func lockEvent(pass *analysis.Pass, n ast.Node) (key string, locked bool) {
+	stmt, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	key = renderLock(pass, sel.X)
+	if key == "" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, true
+	case "Unlock", "RUnlock":
+		return key, false
+	}
+	return "", false
+}
+
+func reportBlocking(pass *analysis.Pass, n ast.Node, held map[string]bool, inComm map[ast.Node]bool, reported map[ast.Node]bool) {
+	if len(held) == 0 || reported[n] || inComm[n] {
+		return
+	}
+	kind := classify(pass, n, inComm)
+	if kind == notBlocking {
+		return
+	}
+	if kind == condWait && len(held) < 2 {
+		return // Wait releases its own lock; one held lock is the contract
+	}
+	reported[n] = true
+	pass.Reportf(n.Pos(),
+		"lock %s held across %s; blocking while holding a lock stalls every contender — unlock first or narrow the critical section",
+		heldNames(held), kind)
+}
+
+// classify decides whether one atom blocks. FuncLits inside the atom are
+// skipped: they execute later, not while the lock is held here.
+func classify(pass *analysis.Pass, n ast.Node, inComm map[ast.Node]bool) blockKind {
+	if sel, ok := n.(*ast.SelectStmt); ok {
+		for _, c := range sel.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				return notBlocking // default clause: non-blocking poll
+			}
+		}
+		return blockingSelect
+	}
+	// A RangeStmt atom embeds its whole body, but the body statements are
+	// their own atoms; only the ranged expression runs at the head.
+	if rng, ok := n.(*ast.RangeStmt); ok {
+		if t := pass.TypesInfo.TypeOf(rng.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return chanRecv
+			}
+		}
+		return classify(pass, rng.X, inComm)
+	}
+	// Launching a goroutine does not block the launcher; only argument
+	// evaluation happens here.
+	if g, ok := n.(*ast.GoStmt); ok {
+		kind := notBlocking
+		for _, arg := range g.Call.Args {
+			if k := classify(pass, arg, inComm); k != notBlocking {
+				kind = k
+				break
+			}
+		}
+		return kind
+	}
+	kind := notBlocking
+	ast.Inspect(n, func(x ast.Node) bool {
+		if kind != notBlocking {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			return false // nested select atoms classified on their own
+		case *ast.SendStmt:
+			if !inComm[x] {
+				kind = chanSend
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				kind = chanRecv
+				return false
+			}
+		case *ast.CallExpr:
+			if k := classifyCall(pass, x); k != notBlocking {
+				kind = k
+				return false
+			}
+		}
+		return true
+	})
+	return kind
+}
+
+func classifyCall(pass *analysis.Pass, call *ast.CallExpr) blockKind {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return notBlocking
+	}
+	switch fn.Pkg().Path() {
+	case "net/http":
+		return blockingCall
+	case "time":
+		if fn.Name() == "Sleep" {
+			return blockingCall
+		}
+	case "sync":
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil || fn.Name() != "Wait" {
+			return notBlocking
+		}
+		switch named := deref(recv.Type()).(type) {
+		case *types.Named:
+			switch named.Obj().Name() {
+			case "WaitGroup":
+				return blockingCall
+			case "Cond":
+				return condWait
+			}
+		}
+	}
+	return notBlocking
+}
+
+// --- shared helpers ---
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names) // deterministic diagnostics regardless of set order
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%q", n)
+	}
+	return s
+}
+
+// renderLock canonicalizes the receiver of a Lock/Unlock call to a key
+// like "s.mu". Receivers that are not simple ident/selector chains are
+// not tracked (returns "").
+func renderLock(pass *analysis.Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if pass.TypesInfo.ObjectOf(x) == nil {
+			return ""
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		base := renderLock(pass, x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return renderLock(pass, x.X)
+	case *ast.UnaryExpr:
+		return renderLock(pass, x.X)
+	}
+	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func equalSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"wirelesshart/tools/lint/analysis/analysistest"
+	"wirelesshart/tools/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.RunWithStubs(t, "testdata/src/whart", locksafe.Analyzer, "./...")
+}

@@ -1,0 +1,192 @@
+package l
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state map[string]int
+	ch    chan int
+}
+
+func (s *server) sendWhileLocked(v int) {
+	s.mu.Lock()
+	s.state["n"] = v
+	s.ch <- v // want `lock "s.mu" held across channel send`
+	s.mu.Unlock()
+}
+
+func (s *server) recvWhileLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `lock "s.mu" held across channel receive`
+}
+
+func (s *server) selectWhileLocked(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `lock "s.mu" held across select with no default`
+	case v := <-s.ch:
+		s.state["n"] = v
+	case <-done:
+	}
+}
+
+func (s *server) httpWhileLocked(url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := http.Get(url) // want `lock "s.mu" held across blocking call`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func (s *server) sleepWhileLocked() {
+	s.mu.Lock()
+	time.Sleep(time.Second) // want `lock "s.mu" held across blocking call`
+	s.mu.Unlock()
+}
+
+func (s *server) waitWhileLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `lock "s.mu" held across blocking call`
+}
+
+type pair struct {
+	a, b sync.Mutex
+	cond *sync.Cond
+}
+
+func (p *pair) condWithExtraLock() {
+	p.a.Lock()
+	p.b.Lock()
+	p.cond.Wait() // want `lock "p.a", "p.b" held across sync.Cond.Wait`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// --- locks copied by value ---
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g guarded) valueReceiver() int { // want `receiver "g" passes sync.Mutex \(via field mu\) by value`
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func takesMutex(mu sync.Mutex) { // want `parameter "mu" passes sync.Mutex by value`
+	mu.Lock()
+	mu.Unlock()
+}
+
+func takesRW(rw sync.RWMutex) { // want `parameter "rw" passes sync.RWMutex by value`
+	_ = rw
+}
+
+func copiesStruct(g *guarded) {
+	snapshot := *g // want `assignment copies sync.Mutex \(via field mu\) by value`
+	_ = snapshot
+}
+
+// --- negatives ---
+
+func (s *server) unlockBeforeSend(v int) {
+	s.mu.Lock()
+	s.state["n"] = v
+	s.mu.Unlock()
+	s.ch <- v // lock released first: fine
+}
+
+func (s *server) conditionalLock(v int, fast bool) {
+	if !fast {
+		s.mu.Lock()
+		s.state["n"] = v
+		s.mu.Unlock()
+	}
+	s.ch <- v // not locked on every path: must-hold set is empty
+}
+
+func (s *server) pollWhileLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // default clause makes this a non-blocking poll
+	case v := <-s.ch:
+		return v
+	default:
+		return s.state["n"]
+	}
+}
+
+func (p *pair) condOwnLockOnly() {
+	p.a.Lock()
+	p.cond.Wait() // Wait releases its own lock; one held lock is the contract
+	p.a.Unlock()
+}
+
+func (s *server) launchWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { // launching is non-blocking; the literal runs unlocked
+		s.ch <- 1
+	}()
+}
+
+func (g *guarded) pointerReceiver() int { // pointer receiver: no copy
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func takesPointer(mu *sync.Mutex) { // pointer parameter: no copy
+	mu.Lock()
+	mu.Unlock()
+}
+
+func freshMutex() {
+	var mu sync.Mutex // declaration is creation, not a copy
+	mu.Lock()
+	mu.Unlock()
+	other := sync.Mutex{} // composite literal: fresh value, not a copy
+	_ = other
+}
+
+func noLockAround(ch chan int) {
+	ch <- 1 // no lock in sight
+	<-ch
+	time.Sleep(time.Millisecond)
+}
+
+func relockAfterBlocking(s *server, v int) {
+	s.mu.Lock()
+	s.state["n"] = v
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // unlocked here
+	s.mu.Lock()
+	s.state["m"] = v
+	s.mu.Unlock()
+}
+
+func nestedPlainLocks(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // acquiring a second lock is not classified as blocking here
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockInLoopBody(s *server, xs []int) {
+	for _, v := range xs {
+		s.mu.Lock()
+		s.state["n"] += v
+		s.mu.Unlock()
+	}
+	<-s.ch // loop always released the lock before exiting
+}

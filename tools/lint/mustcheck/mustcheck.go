@@ -67,6 +67,15 @@ var checked = map[string]bool{
 	"wirelesshart/internal/cluster.ReadSnapshot":          true,
 	"(*wirelesshart/internal/engine.Engine).SaveSnapshot": true,
 	"(*wirelesshart/internal/engine.Engine).LoadSnapshot": true,
+
+	// PR 9 distributed surface: a dropped Post error silently turns a
+	// peer-forwarded evaluation into a missing result, and a dropped
+	// Evaluate* error serves a stale or zero Result to the caller — the
+	// SIGTERM drain path discards in-flight work with no trace.
+	"(*wirelesshart/internal/cluster.Client).Post":         true,
+	"(*wirelesshart/internal/engine.Engine).Evaluate":      true,
+	"(*wirelesshart/internal/engine.Engine).EvaluatePeer":  true,
+	"(*wirelesshart/internal/engine.Engine).EvaluateBatch": true,
 }
 
 func run(pass *analysis.Pass) error {

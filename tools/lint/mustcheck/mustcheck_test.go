@@ -8,5 +8,5 @@ import (
 )
 
 func TestMustcheck(t *testing.T) {
-	analysistest.Run(t, "testdata/src/whart", mustcheck.Analyzer, "./...")
+	analysistest.RunWithStubs(t, "testdata/src/whart", mustcheck.Analyzer, "./...")
 }

@@ -49,6 +49,33 @@ func bad() {
 	defer c.Validate(1e-9) // want `result of Validate discarded by defer statement`
 }
 
+func badDistributed(eng *engine.Engine, cl *cluster.Client, peer cluster.Member) {
+	eng.Evaluate(nil, nil)                       // want `result of Evaluate discarded; it must be checked`
+	eng.EvaluatePeer(nil, nil)                   // want `result of EvaluatePeer discarded; it must be checked`
+	eng.EvaluateBatch(nil, nil)                  // want `result of EvaluateBatch discarded; it must be checked`
+	cl.Post(nil, peer, "/evaluate", nil)         // want `result of Post discarded; it must be checked`
+	res, _ := eng.Evaluate(nil, nil)             // want `error result of Evaluate assigned to blank identifier`
+	_ = res
+	body, _ := cl.Post(nil, peer, "/evaluate", nil) // want `error result of Post assigned to blank identifier`
+	_ = body
+}
+
+func goodDistributed(eng *engine.Engine, cl *cluster.Client, peer cluster.Member) error {
+	res, err := eng.Evaluate(nil, nil)
+	if err != nil {
+		return err
+	}
+	_ = res
+	batch, err := eng.EvaluateBatch(nil, nil)
+	if err != nil {
+		return err
+	}
+	_ = batch
+	body, err := cl.Post(nil, peer, "/evaluate", nil)
+	_ = body
+	return err
+}
+
 func good() error {
 	c := dtmc.New()
 	if err := c.AddTransition(0, 1, 0.5); err != nil {

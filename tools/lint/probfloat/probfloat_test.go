@@ -8,5 +8,5 @@ import (
 )
 
 func TestProbfloat(t *testing.T) {
-	analysistest.Run(t, "testdata/src/whart", probfloat.Analyzer, "./...")
+	analysistest.RunWithStubs(t, "testdata/src/whart", probfloat.Analyzer, "./...")
 }

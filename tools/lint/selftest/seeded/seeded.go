@@ -1,0 +1,16 @@
+// Package seeded is a deliberately broken fixture. It lives in its own
+// module so neither repo build compiles it; `make lint-selftest` runs
+// whart-lint over it and asserts FAILURE, proving the installed suite
+// still catches the map-order float-accumulation bug class (the PR 6
+// root cause) end to end — a canary for the lint wiring itself.
+package seeded
+
+// MeanWeight sums float weights in map iteration order: the sum's low
+// bits differ from run to run. detrange must flag the accumulation.
+func MeanWeight(w map[string]float64) float64 {
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	return sum / float64(len(w))
+}

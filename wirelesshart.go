@@ -572,8 +572,16 @@ func (n *Network) buildExplicit(o *options, routes map[topology.NodeID]topology.
 	if err != nil {
 		return nil, nil, err
 	}
+	// Sorted source-name order: both the reporting-source list and the
+	// first validation error reported must not depend on map order.
+	names := make([]string, 0, len(o.explicit))
+	for name := range o.explicit {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var sources []topology.NodeID
-	for name, slots := range o.explicit {
+	for _, name := range names {
+		slots := o.explicit[name]
 		node, ok := n.topo.NodeByName(name)
 		if !ok {
 			return nil, nil, fmt.Errorf("wirelesshart: unknown source %q in explicit schedule", name)
@@ -610,8 +618,13 @@ func (n *Network) finishBuild(o *options, sched schedule.Plan, sources []topolog
 	if o.ttl > 0 {
 		opts = append(opts, core.WithTTL(o.ttl))
 	}
-	for id, m := range n.models {
-		opts = append(opts, core.WithLinkModel(id, m))
+	modelIDs := make([]topology.LinkID, 0, len(n.models))
+	for id := range n.models {
+		modelIDs = append(modelIDs, id)
+	}
+	sort.Slice(modelIDs, func(i, j int) bool { return modelIDs[i] < modelIDs[j] })
+	for _, id := range modelIDs {
+		opts = append(opts, core.WithLinkModel(id, n.models[id]))
 	}
 	// Failure injections by link name.
 	for _, l := range n.topo.Links() {
